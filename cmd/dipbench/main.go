@@ -1,0 +1,102 @@
+// Command dipbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dipbench -list
+//	dipbench -exp tab1                # one experiment at paper scale
+//	dipbench -exp all -out results/   # everything, one file per experiment
+//	dipbench -exp tab2 -scale test    # fast miniature run
+//	dipbench -exp tab1 -ckpt ckpts/   # reuse checkpoints from diptrain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.String("scale", "paper", "paper | test")
+		ckpt    = flag.String("ckpt", "", "checkpoint directory (shared with diptrain)")
+		outDir  = flag.String("out", "", "write each experiment's tables to <out>/<id>.txt as well as stdout")
+		csvOut  = flag.Bool("csv", false, "also write <out>/<id>-<table>.csv for plotting")
+		verbose = flag.Bool("v", true, "log lab progress to stderr")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "dipbench: -exp required (try -list)")
+		os.Exit(2)
+	}
+	sc := model.ScalePaper
+	if *scale == "test" {
+		sc = model.ScaleTest
+	} else if *scale != "paper" {
+		fmt.Fprintf(os.Stderr, "dipbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(sc)
+	lab.CheckpointDir = *ckpt
+	if *verbose {
+		lab.Log = os.Stderr
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(lab, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var sink *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+				os.Exit(1)
+			}
+			sink = f
+		}
+		for _, tab := range tables {
+			tab.Render(os.Stdout)
+			if sink != nil {
+				tab.Render(sink)
+			}
+			if *csvOut && *outDir != "" {
+				f, err := os.Create(filepath.Join(*outDir, tab.ID+".csv"))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := tab.RenderCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		if sink != nil {
+			sink.Close()
+		}
+		fmt.Fprintf(os.Stderr, "dipbench: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

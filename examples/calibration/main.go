@@ -1,0 +1,68 @@
+// Calibration walks through the Appendix-B.1 density-allocation procedure
+// on a freshly trained model: grid-search (ρ_in, ρ_glu), extract the Pareto
+// front in the (density, perplexity) plane, fit the logit-linear allocation
+// rule, and compare the fitted allocator's picks with the library default
+// — the workflow a user would run when porting DIP to a new model family.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/sparsity"
+)
+
+func main() {
+	tok := data.NewTokenizer()
+	splits := data.NewSplits(31, 60000, 8000)
+	cfg := model.Config{
+		Name: model.Phi3MiniSim, Vocab: tok.VocabSize(),
+		Dim: 32, Layers: 3, Heads: 4, KVHeads: 2, DFF: 96,
+		MaxSeq: 96, Act: nn.ActSiLU,
+	}
+	m := model.New(cfg, 3)
+	opts := model.DefaultTrainOpts()
+	opts.Steps = 200
+	opts.Log = os.Stderr
+	fmt.Println("training...")
+	if _, err := model.Train(m, tok.Encode(splits.Train), opts); err != nil {
+		log.Fatal(err)
+	}
+	valid := tok.Encode(splits.Valid)[:2000]
+
+	fmt.Println("\nstep 1: grid search over (rho_in, rho_glu)")
+	grid := []float64{0.25, 0.5, 0.75, 1.0}
+	var trials []sparsity.AllocTrial
+	for _, rin := range grid {
+		for _, rglu := range grid {
+			s := &sparsity.DIP{RhoIn: rin, RhoGLU: rglu, Gamma: 1}
+			ppl, density := eval.PerplexityUnderScheme(m, s, valid, 64)
+			trials = append(trials, sparsity.AllocTrial{RhoIn: rin, RhoGLU: rglu, Density: density, PPL: ppl})
+			fmt.Printf("  rin %.2f rglu %.2f -> density %.3f ppl %.3f\n", rin, rglu, density, ppl)
+		}
+	}
+
+	fmt.Println("\nstep 2: Pareto front (density ↑ is worse, ppl ↓ is better)")
+	front := sparsity.ParetoFront(trials)
+	for _, tr := range front {
+		fmt.Printf("  density %.3f ppl %.3f  (rin %.2f, rglu %.2f)\n", tr.Density, tr.PPL, tr.RhoIn, tr.RhoGLU)
+	}
+
+	fmt.Println("\nstep 3: logit-linear fit of rho_in against density")
+	a, b := sparsity.FitLogitLinear(front)
+	fmt.Printf("  logit(rho_in) = %.3f + %.3f * logit(density)\n", a, b)
+
+	fmt.Println("\nstep 4: fitted allocator vs library default")
+	alloc := sparsity.FittedAllocator{A: a, B: b}
+	fmt.Printf("  %-8s %-20s %-20s\n", "target", "fitted (in, glu)", "default (in, glu)")
+	for _, d := range []float64{0.3, 0.5, 0.7} {
+		fr, fg := alloc.Allocate(d)
+		dr, dg := sparsity.AllocateDIP(d)
+		fmt.Printf("  %-8.2f (%.2f, %.2f)         (%.2f, %.2f)\n", d, fr, fg, dr, dg)
+	}
+}

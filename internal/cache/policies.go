@@ -1,0 +1,42 @@
+package cache
+
+// This file adds the eviction policies beyond the paper's main trio —
+// FIFO and an aging LFU — used by the extended fig11-style ablations and
+// cmd/dipsim. FIFO is the classic baseline the OS literature compares
+// against; aging LFU addresses plain LFU's known failure mode (stale
+// frequency counts pinning units whose hot phase has passed), which
+// matters for long decoding sessions whose activation statistics drift.
+
+const (
+	// PolicyFIFO evicts the unit resident longest, regardless of use.
+	PolicyFIFO Policy = iota + 100
+	// PolicyLFUAged is LFU whose counts decay by half every AgingPeriod
+	// accesses, so long-stale popularity cannot pin a unit forever.
+	PolicyLFUAged
+)
+
+// AgingPeriod is the number of token-accesses between count halvings for
+// PolicyLFUAged.
+const AgingPeriod = 256
+
+// fifoState augments GroupCache for insertion-order tracking. To keep the
+// core struct small, FIFO reuses lastUse as the insertion stamp: the stamp
+// is written only on insert, never on hit.
+func (g *GroupCache) noteInsert(u int) {
+	if g.policy == PolicyFIFO {
+		g.lastUse[u] = g.clock
+	}
+}
+
+// maybeAge halves all frequency counters once per aging period.
+func (g *GroupCache) maybeAge() {
+	if g.policy != PolicyLFUAged {
+		return
+	}
+	if g.clock%AgingPeriod != 0 {
+		return
+	}
+	for i := range g.freq {
+		g.freq[i] /= 2
+	}
+}

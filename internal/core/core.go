@@ -1,0 +1,67 @@
+// Package core is the front door to the paper's contribution: Dynamic
+// Input Pruning (DIP) and Cache-Aware masking (DIP-CA). It re-exports the
+// small set of types a downstream user composes — the pruning scheme, the
+// cache simulator, the hardware plan, and the coupled evaluator — without
+// requiring them to learn the internal package layout:
+//
+//	m := core.TrainedModel(...)            // or model.LoadCheckpointFile
+//	scheme := core.NewDIPCA(0.5, 0.2)      // 50% MLP density, γ = 0.2
+//	point, _ := core.Evaluate(m, scheme, tokens, core.DefaultSystem())
+//	fmt.Println(point.PPL, point.Throughput, point.HitRate)
+//
+// The deeper packages remain available for research use: sparsity (all
+// baseline schemes), cache (eviction policies), hwsim (device planning),
+// eval (instrumentation), experiments (the paper's tables and figures).
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/eval"
+	"repro/internal/hwsim"
+	"repro/internal/model"
+	"repro/internal/sparsity"
+)
+
+// Scheme is a dynamic MLP sparsification strategy (sparsity.Scheme).
+type Scheme = sparsity.Scheme
+
+// DIP is the Dynamic Input Pruning scheme (sparsity.DIP).
+type DIP = sparsity.DIP
+
+// Point is one evaluated operating point (eval.Point).
+type Point = eval.Point
+
+// Device is a simulated memory system (hwsim.Device).
+type Device = hwsim.Device
+
+// System bundles the coupled-evaluation settings (eval.SystemConfig).
+type System = eval.SystemConfig
+
+// NewDIP returns plain DIP at the target MLP density with the calibrated
+// up/gate-vs-down allocation.
+func NewDIP(density float64) *DIP { return sparsity.NewDIP(density) }
+
+// NewDIPCA returns cache-aware DIP with penalty gamma (the paper uses 0.2).
+func NewDIPCA(density, gamma float64) *DIP { return sparsity.NewDIPCA(density, gamma) }
+
+// Dense returns the no-pruning baseline scheme.
+func Dense() Scheme { return sparsity.Dense{} }
+
+// DefaultSystem returns the paper's main setting: an A18-class device with
+// DRAM fitting half the 4-bit model and an LFU weight cache.
+func DefaultSystem() System {
+	return System{Device: hwsim.A18Like(), Policy: cache.PolicyLFU}
+}
+
+// Evaluate runs the scheme over the token stream with the DRAM cache and
+// transfer meter coupled, returning perplexity, measured density, cache
+// hit rate and simulated throughput.
+func Evaluate(m *model.Model, s Scheme, tokens []int, cfg System) (Point, error) {
+	return eval.SystemEvaluate(m, s, tokens, cfg)
+}
+
+// Quality evaluates perplexity and measured MLP density without hardware
+// coupling (the Tables 1/3/4 protocol).
+func Quality(m *model.Model, s Scheme, tokens []int, win int) (ppl, density float64) {
+	return eval.PerplexityUnderScheme(m, s, tokens, win)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tok := data.NewTokenizer()
+	splits := data.NewSplits(71, 12000, 2500)
+	cfg := model.Config{
+		Name: model.Mistral7BSim, Vocab: tok.VocabSize(), Dim: 16, Layers: 2,
+		Heads: 2, KVHeads: 1, DFF: 32, MaxSeq: 32, Act: nn.ActSiLU,
+	}
+	m := model.New(cfg, 19)
+	opts := model.DefaultTrainOpts()
+	opts.Steps = 60
+	opts.Batch = 2
+	opts.SeqLen = 31
+	if _, err := model.Train(m, tok.Encode(splits.Train), opts); err != nil {
+		t.Fatal(err)
+	}
+	test := tok.Encode(splits.Test)[:800]
+
+	ppl, density := Quality(m, NewDIP(0.5), test, 32)
+	if ppl <= 1 || density < 0.4 || density > 0.6 {
+		t.Fatalf("quality = (%v, %v)", ppl, density)
+	}
+	ppl2, d2 := Quality(m, Dense(), test, 32)
+	if ppl2 > ppl || d2 != 1 {
+		t.Fatalf("dense quality = (%v, %v) vs dip %v", ppl2, d2, ppl)
+	}
+
+	pt, err := Evaluate(m, NewDIPCA(0.5, 0.2), test, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Throughput <= 0 || pt.HitRate <= 0 {
+		t.Fatalf("point = %+v", pt)
+	}
+}

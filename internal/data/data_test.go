@@ -1,0 +1,215 @@
+package data
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestSentenceWellFormed(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		s := Sentence(rng)
+		if !strings.HasSuffix(s, ". ") {
+			t.Fatalf("sentence missing terminator: %q", s)
+		}
+		if len(strings.Fields(s)) < 3 {
+			t.Fatalf("sentence too short: %q", s)
+		}
+	}
+}
+
+func TestSentenceAgreement(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	singular := map[string]bool{}
+	for _, v := range singularVerbs {
+		singular[v] = true
+	}
+	plural := map[string]bool{}
+	for _, v := range pluralVerbs {
+		plural[v] = true
+	}
+	pluralSubj := map[string]bool{}
+	for _, s := range pluralSubjects {
+		pluralSubj[s] = true
+	}
+	for i := 0; i < 500; i++ {
+		s := Sentence(rng)
+		words := strings.Fields(s)
+		isPlural := false
+		for subj := range pluralSubj {
+			if strings.HasPrefix(s, subj+" ") {
+				isPlural = true
+			}
+		}
+		// Find the main verb: the first word from either class.
+		for _, w := range words {
+			if singular[w] {
+				if isPlural {
+					t.Fatalf("agreement violation (plural subj, singular verb): %q", s)
+				}
+				break
+			}
+			if plural[w] {
+				if !isPlural {
+					t.Fatalf("agreement violation (singular subj, plural verb): %q", s)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestCorpusLengthAndDeterminism(t *testing.T) {
+	a := Corpus(tensor.NewRNG(5), 1000)
+	b := Corpus(tensor.NewRNG(5), 1000)
+	if a != b {
+		t.Fatal("corpus generation not deterministic")
+	}
+	if len(a) < 1000 {
+		t.Fatalf("corpus too short: %d", len(a))
+	}
+	c := Corpus(tensor.NewRNG(6), 1000)
+	if a == c {
+		t.Fatal("different seeds gave identical corpora")
+	}
+}
+
+func TestSplitsDisjointStreams(t *testing.T) {
+	s := NewSplits(7, 2000, 500)
+	if s.Train == s.Calib || s.Calib == s.Valid || s.Valid == s.Test {
+		t.Fatal("splits are not from independent streams")
+	}
+	if len(s.Train) < 2000 || len(s.Test) < 500 {
+		t.Fatal("split lengths wrong")
+	}
+}
+
+func TestTokenizerRoundTrip(t *testing.T) {
+	tok := NewTokenizer()
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		s := Sentence(rng)
+		// Strip trailing space ambiguity: round trip must be exact since
+		// all grammar characters are in the alphabet.
+		return tok.Decode(tok.Encode(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizerUnknownMapsToSpace(t *testing.T) {
+	tok := NewTokenizer()
+	ids := tok.Encode("A!") // uppercase and punctuation not in alphabet
+	for _, id := range ids {
+		if id != 0 {
+			t.Fatalf("unknown char should map to 0, got %v", ids)
+		}
+	}
+}
+
+func TestTokenizerVocabCoversAlphabet(t *testing.T) {
+	tok := NewTokenizer()
+	if tok.VocabSize() != len(Alphabet) {
+		t.Fatalf("vocab size %d != alphabet %d", tok.VocabSize(), len(Alphabet))
+	}
+	ids := tok.Encode(Alphabet)
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("alphabet position %d encoded as %d", i, id)
+		}
+	}
+}
+
+func TestDecodePanicsOnBadID(t *testing.T) {
+	tok := NewTokenizer()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode should panic on out-of-range id")
+		}
+	}()
+	tok.Decode([]int{9999})
+}
+
+func TestGenerateTaskShape(t *testing.T) {
+	for _, kind := range TaskKinds() {
+		items := GenerateTask(kind, 25, tensor.NewRNG(9))
+		if len(items) != 25 {
+			t.Fatalf("%v: got %d items", kind, len(items))
+		}
+		for _, it := range items {
+			if len(it.Choices) != NumChoices {
+				t.Fatalf("%v: wrong choice count", kind)
+			}
+			if it.Answer < 0 || it.Answer >= NumChoices {
+				t.Fatalf("%v: answer index %d", kind, it.Answer)
+			}
+			correct := it.Choices[it.Answer]
+			for i, c := range it.Choices {
+				if i != it.Answer && c == correct {
+					t.Fatalf("%v: distractor equals answer: %q", kind, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateTaskCorruptionsDiffer(t *testing.T) {
+	// Agreement corruption must change the verb number, order corruption
+	// must permute words, spelling must change characters.
+	items := GenerateTask(TaskAgreement, 50, tensor.NewRNG(3))
+	pluralVerbSet := map[string]bool{}
+	for _, v := range pluralVerbs {
+		pluralVerbSet[v] = true
+	}
+	singularVerbSet := map[string]bool{}
+	for _, v := range singularVerbs {
+		singularVerbSet[v] = true
+	}
+	for _, it := range items {
+		correctVerb := strings.Fields(it.Choices[it.Answer])[0]
+		for i, c := range it.Choices {
+			if i == it.Answer {
+				continue
+			}
+			wrongVerb := strings.Fields(c)[0]
+			if singularVerbSet[correctVerb] && !pluralVerbSet[wrongVerb] {
+				t.Fatalf("distractor verb %q not opposite number of %q", wrongVerb, correctVerb)
+			}
+			if pluralVerbSet[correctVerb] && !singularVerbSet[wrongVerb] {
+				t.Fatalf("distractor verb %q not opposite number of %q", wrongVerb, correctVerb)
+			}
+		}
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	names := map[string]bool{}
+	for _, k := range TaskKinds() {
+		names[k.String()] = true
+	}
+	if len(names) != int(numTaskKinds) {
+		t.Fatalf("task kind names not unique: %v", names)
+	}
+	if TaskKind(99).String() != "unknown" {
+		t.Fatal("unknown kind should stringify as unknown")
+	}
+}
+
+func TestGenerateTaskDeterminism(t *testing.T) {
+	a := GenerateTask(TaskOrder, 10, tensor.NewRNG(4))
+	b := GenerateTask(TaskOrder, 10, tensor.NewRNG(4))
+	for i := range a {
+		if a[i].Prompt != b[i].Prompt || a[i].Answer != b[i].Answer {
+			t.Fatal("task generation not deterministic")
+		}
+		for j := range a[i].Choices {
+			if a[i].Choices[j] != b[i].Choices[j] {
+				t.Fatal("task generation not deterministic")
+			}
+		}
+	}
+}

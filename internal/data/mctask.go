@@ -1,0 +1,179 @@
+package data
+
+import (
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// MCItem is one multiple-choice question: a shared prompt, NumChoices
+// candidate continuations, and the index of the correct one. The evaluation
+// harness scores each continuation's log-likelihood given the prompt and
+// picks the argmax, mirroring how the LM Evaluation Harness scores MMLU.
+type MCItem struct {
+	Prompt  string
+	Choices []string
+	Answer  int
+}
+
+// NumChoices is the number of candidates per item, matching 4-way MMLU.
+const NumChoices = 4
+
+// TaskKind enumerates the corruption families, standing in for the
+// different benchmarks in the paper's Table 5. Each family damages the true
+// continuation along a different linguistic axis, so methods that preserve
+// different parts of the computation rank differently across tasks.
+type TaskKind int
+
+const (
+	// TaskAgreement corrupts subject/verb number agreement ("the fox eat").
+	TaskAgreement TaskKind = iota
+	// TaskOrder swaps adjacent words in the continuation.
+	TaskOrder
+	// TaskLexical substitutes a word with one from the wrong class.
+	TaskLexical
+	// TaskSpelling injects character-level typos.
+	TaskSpelling
+	// TaskCoherence offers continuations of other, unrelated sentences.
+	TaskCoherence
+	numTaskKinds
+)
+
+// TaskKinds lists all task families in presentation order.
+func TaskKinds() []TaskKind {
+	out := make([]TaskKind, numTaskKinds)
+	for i := range out {
+		out[i] = TaskKind(i)
+	}
+	return out
+}
+
+// String names the task family.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskAgreement:
+		return "agreement"
+	case TaskOrder:
+		return "order"
+	case TaskLexical:
+		return "lexical"
+	case TaskSpelling:
+		return "spelling"
+	case TaskCoherence:
+		return "coherence"
+	default:
+		return "unknown"
+	}
+}
+
+// splitSentence cuts a generated sentence into a prompt (subject part) and
+// continuation (verb phrase onward). The continuation begins at the verb,
+// so agreement with the prompt's subject is exactly what is being tested.
+func splitSentence(rng *tensor.RNG) (prompt, cont string, plural bool) {
+	plural = rng.Float64() < 0.5
+	var b strings.Builder
+	if plural {
+		b.WriteString(pluralSubjects[rng.Intn(len(pluralSubjects))])
+	} else {
+		b.WriteString(singularSubjects[rng.Intn(len(singularSubjects))])
+	}
+	prompt = b.String() + " "
+	var c strings.Builder
+	if plural {
+		c.WriteString(pluralVerbs[rng.Intn(len(pluralVerbs))])
+	} else {
+		c.WriteString(singularVerbs[rng.Intn(len(singularVerbs))])
+	}
+	c.WriteByte(' ')
+	c.WriteString(objects[rng.Intn(len(objects))])
+	c.WriteString(".")
+	return prompt, c.String(), plural
+}
+
+func swapVerbNumber(cont string, plural bool, rng *tensor.RNG) string {
+	words := strings.Fields(cont)
+	if len(words) == 0 {
+		return cont
+	}
+	if plural {
+		words[0] = singularVerbs[rng.Intn(len(singularVerbs))]
+	} else {
+		words[0] = pluralVerbs[rng.Intn(len(pluralVerbs))]
+	}
+	return strings.Join(words, " ")
+}
+
+func swapAdjacent(cont string, rng *tensor.RNG) string {
+	words := strings.Fields(cont)
+	if len(words) < 2 {
+		return cont + " " + cont
+	}
+	i := rng.Intn(len(words) - 1)
+	words[i], words[i+1] = words[i+1], words[i]
+	return strings.Join(words, " ")
+}
+
+func wrongClassWord(cont string, rng *tensor.RNG) string {
+	words := strings.Fields(cont)
+	if len(words) == 0 {
+		return cont
+	}
+	// Replace the verb with an adverb: syntactically invalid continuation.
+	words[0] = adverbs[rng.Intn(len(adverbs))]
+	return strings.Join(words, " ")
+}
+
+func typo(cont string, rng *tensor.RNG) string {
+	b := []byte(cont)
+	nerr := 1 + rng.Intn(2)
+	for e := 0; e < nerr && len(b) > 0; e++ {
+		i := rng.Intn(len(b))
+		b[i] = Alphabet[1+rng.Intn(26)] // random lowercase letter
+	}
+	return string(b)
+}
+
+// GenerateTask produces n items of the given kind using rng.
+func GenerateTask(kind TaskKind, n int, rng *tensor.RNG) []MCItem {
+	items := make([]MCItem, 0, n)
+	for len(items) < n {
+		prompt, cont, plural := splitSentence(rng)
+		choices := make([]string, NumChoices)
+		answer := rng.Intn(NumChoices)
+		used := map[string]bool{cont: true}
+		corrupt := func() string {
+			for tries := 0; tries < 20; tries++ {
+				var c string
+				switch kind {
+				case TaskAgreement:
+					c = swapVerbNumber(cont, plural, rng)
+				case TaskOrder:
+					c = swapAdjacent(cont, rng)
+				case TaskLexical:
+					c = wrongClassWord(cont, rng)
+				case TaskSpelling:
+					c = typo(cont, rng)
+				case TaskCoherence:
+					_, c, _ = splitSentence(rng)
+					if plural { // force an agreement break so it's detectably wrong
+						c = swapVerbNumber(c, true, rng)
+					}
+				}
+				if !used[c] {
+					used[c] = true
+					return c
+				}
+			}
+			return cont + " no"
+		}
+		for i := range choices {
+			if i == answer {
+				choices[i] = cont
+			} else {
+				choices[i] = corrupt()
+			}
+		}
+		items = append(items, MCItem{Prompt: prompt, Choices: choices, Answer: answer})
+	}
+	return items
+}

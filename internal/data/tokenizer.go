@@ -1,0 +1,56 @@
+package data
+
+import "fmt"
+
+// Tokenizer maps the corpus alphabet to small contiguous token ids. It is
+// a fixed character-level vocabulary covering everything the grammar can
+// emit, so a tokenizer built today decodes checkpoints trained yesterday.
+type Tokenizer struct {
+	idOf   [256]int16
+	charOf []byte
+}
+
+// Alphabet is the full character set the grammar can produce.
+const Alphabet = " abcdefghijklmnopqrstuvwxyz.,0123456789"
+
+// NewTokenizer returns the fixed corpus tokenizer.
+func NewTokenizer() *Tokenizer {
+	t := &Tokenizer{charOf: []byte(Alphabet)}
+	for i := range t.idOf {
+		t.idOf[i] = -1
+	}
+	for i, c := range t.charOf {
+		t.idOf[c] = int16(i)
+	}
+	return t
+}
+
+// VocabSize returns the number of token ids.
+func (t *Tokenizer) VocabSize() int { return len(t.charOf) }
+
+// Encode converts text to token ids. Unknown characters map to the space
+// token rather than failing, so corrupted MC candidates always encode.
+func (t *Tokenizer) Encode(s string) []int {
+	ids := make([]int, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		id := t.idOf[s[i]]
+		if id < 0 {
+			id = 0
+		}
+		ids = append(ids, int(id))
+	}
+	return ids
+}
+
+// Decode converts token ids back to text. It panics on out-of-range ids,
+// which indicate a programming error rather than bad data.
+func (t *Tokenizer) Decode(ids []int) string {
+	out := make([]byte, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= len(t.charOf) {
+			panic(fmt.Sprintf("data: Decode id %d out of range [0,%d)", id, len(t.charOf)))
+		}
+		out[i] = t.charOf[id]
+	}
+	return string(out)
+}

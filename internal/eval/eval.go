@@ -1,0 +1,214 @@
+// Package eval is the measurement harness: it wires a sparsity scheme into
+// a model's MLP hook — optionally coupled to the DRAM cache simulator and
+// transfer-cost meter — and reports the paper's three KPIs: model quality
+// (perplexity, multiple-choice accuracy), memory (measured MLP density),
+// and throughput (simulated tokens/second).
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/data"
+	"repro/internal/hwsim"
+	"repro/internal/model"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// DensityAccumulator averages the measured MLP density over an evaluation.
+type DensityAccumulator struct {
+	sum      float64
+	n        int
+	dim, dff int
+}
+
+// NewDensityAccumulator sizes the accumulator for a model's MLP dims.
+func NewDensityAccumulator(m *model.Model) *DensityAccumulator {
+	return &DensityAccumulator{dim: m.Cfg.Dim, dff: m.Cfg.DFF}
+}
+
+// Add records one TokenAccess.
+func (d *DensityAccumulator) Add(ta *sparsity.TokenAccess) {
+	d.sum += ta.Density(d.dim, d.dff)
+	d.n++
+}
+
+// Mean returns the average density, or 0 before any access.
+func (d *DensityAccumulator) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// HookOpts couples optional instrumentation into a scheme hook.
+type HookOpts struct {
+	// Cache, when set, is accessed per (layer, token) and exposed to
+	// cache-aware schemes.
+	Cache *cache.ModelCache
+	// Meter, when set, accumulates transfer costs (BeginToken fires on
+	// each layer-0 call).
+	Meter *hwsim.Meter
+	// Recorder, when set, records access traces (for Belady's first pass).
+	Recorder *cache.TraceRecorder
+	// Density, when set, accumulates measured MLP density.
+	Density *DensityAccumulator
+}
+
+// Hook builds a model.MLPHook evaluating the scheme with the requested
+// instrumentation.
+func Hook(m *model.Model, s sparsity.Scheme, opts HookOpts) model.MLPHook {
+	var view sparsity.CacheView
+	if opts.Cache != nil {
+		view = opts.Cache
+	}
+	return func(layer int, x tensor.Vec) tensor.Vec {
+		if opts.Meter != nil && layer == 0 {
+			opts.Meter.BeginToken()
+		}
+		y, ta := s.Forward(layer, x, m.Blocks[layer].MLP, view)
+		if opts.Density != nil {
+			opts.Density.Add(&ta)
+		}
+		if opts.Recorder != nil {
+			opts.Recorder.Record(layer, &ta)
+		}
+		if opts.Cache != nil {
+			res := opts.Cache.Access(layer, &ta)
+			if opts.Meter != nil {
+				opts.Meter.AddAccess(res)
+			}
+		}
+		return y
+	}
+}
+
+// PerplexityUnderScheme evaluates windowed perplexity with the scheme and
+// no hardware coupling, returning the perplexity and mean measured density.
+func PerplexityUnderScheme(m *model.Model, s sparsity.Scheme, tokens []int, win int) (ppl, density float64) {
+	acc := NewDensityAccumulator(m)
+	hook := Hook(m, s, HookOpts{Density: acc})
+	return model.Perplexity(m, tokens, win, hook), acc.Mean()
+}
+
+// MCAccuracy scores multiple-choice items under the scheme (no cache
+// coupling — quality metrics in the paper's Tables 1/3/4/5 use plain
+// masks) and returns the accuracy in percent.
+func MCAccuracy(m *model.Model, s sparsity.Scheme, tok *data.Tokenizer, items []data.MCItem) float64 {
+	var hook model.MLPHook
+	if s != nil {
+		hook = Hook(m, s, HookOpts{})
+	}
+	correct := 0
+	for _, it := range items {
+		prompt := tok.Encode(it.Prompt)
+		best, bestLP := -1, 0.0
+		for c, choice := range it.Choices {
+			lp := model.ContinuationLogProb(m, prompt, tok.Encode(choice), hook)
+			if best < 0 || lp > bestLP {
+				best, bestLP = c, lp
+			}
+		}
+		if best == it.Answer {
+			correct++
+		}
+	}
+	if len(items) == 0 {
+		return 0
+	}
+	return 100 * float64(correct) / float64(len(items))
+}
+
+// Point is one operating point of the three-way KPI trade-off.
+type Point struct {
+	Scheme     string
+	Density    float64 // measured mean MLP density
+	PPL        float64
+	Throughput float64 // simulated tok/s
+	HitRate    float64
+	LatencyS   float64
+}
+
+// SystemConfig drives a coupled quality+throughput evaluation.
+type SystemConfig struct {
+	Device hwsim.Device
+	Policy cache.Policy
+	// BytesPerWeight defaults to 0.5 (INT4, the Table 2 setting).
+	BytesPerWeight float64
+	// ExtraStaticWeights pins additional weights in DRAM (predictors).
+	ExtraStaticWeights int
+	// MaxTokens truncates the token stream (0 = use all).
+	MaxTokens int
+	// Win is the evaluation window length (defaults to model MaxSeq).
+	Win int
+}
+
+// SystemEvaluate runs the scheme over the token stream with the cache and
+// meter coupled, returning perplexity, measured density, hit rate, and
+// simulated throughput. For the Belady policy it runs a recording pass
+// first and replays the identical stream against the oracle; cache-aware
+// schemes are rejected there because their masks would diverge between
+// passes.
+func SystemEvaluate(m *model.Model, s sparsity.Scheme, tokens []int, cfg SystemConfig) (Point, error) {
+	if cfg.MaxTokens > 0 && len(tokens) > cfg.MaxTokens {
+		tokens = tokens[:cfg.MaxTokens]
+	}
+	win := cfg.Win
+	if win == 0 || win > m.Cfg.MaxSeq {
+		win = m.Cfg.MaxSeq
+	}
+	plan, err := hwsim.NewPlan(m, cfg.Device, hwsim.PlanOpts{
+		BytesPerWeight:     cfg.BytesPerWeight,
+		ExtraStaticWeights: cfg.ExtraStaticWeights,
+		Groups:             hwsim.ProbeGroups(s, m),
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	if cfg.Policy == cache.PolicyBelady {
+		if ca, ok := s.(interface{ IsCacheAware() bool }); ok && ca.IsCacheAware() {
+			return Point{}, fmt.Errorf("eval: Belady policy cannot replay a cache-aware scheme")
+		}
+		rec := cache.NewTraceRecorder()
+		recHook := Hook(m, s, HookOpts{Recorder: rec})
+		for start := 0; start+win <= len(tokens); start += win {
+			m.Forward(tokens[start:start+win], recHook)
+		}
+		mc := plan.NewCache(cache.PolicyBelady)
+		mc.SetTraces(rec)
+		return runSystem(m, s, tokens, win, plan, mc)
+	}
+	mc := plan.NewCache(cfg.Policy)
+	return runSystem(m, s, tokens, win, plan, mc)
+}
+
+func runSystem(m *model.Model, s sparsity.Scheme, tokens []int, win int, plan *hwsim.Plan, mc *cache.ModelCache) (Point, error) {
+	meter := plan.NewMeter()
+	acc := NewDensityAccumulator(m)
+	hook := Hook(m, s, HookOpts{Cache: mc, Meter: meter, Density: acc})
+	ppl := model.Perplexity(m, tokens, win, hook)
+	stats := mc.TotalStats()
+	return Point{
+		Scheme:     s.Name(),
+		Density:    acc.Mean(),
+		PPL:        ppl,
+		Throughput: meter.Throughput(),
+		HitRate:    stats.HitRate(),
+		LatencyS:   meter.Latency(),
+	}, nil
+}
+
+// BestThroughput returns the highest-throughput point whose perplexity is
+// at most maxPPL, and whether any point qualified.
+func BestThroughput(points []Point, maxPPL float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if p.PPL <= maxPPL && (!found || p.Throughput > best.Throughput) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/data"
+	"repro/internal/hwsim"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// zoo holds one trained tiny model shared across the package's tests.
+var zoo struct {
+	m     *model.Model
+	tok   *data.Tokenizer
+	calib []int
+	test  []int
+}
+
+func trained(t *testing.T) {
+	t.Helper()
+	if zoo.m != nil {
+		return
+	}
+	tok := data.NewTokenizer()
+	splits := data.NewSplits(61, 14000, 3000)
+	cfg := model.Config{
+		Name: model.Mistral7BSim, Vocab: tok.VocabSize(), Dim: 16, Layers: 2,
+		Heads: 2, KVHeads: 1, DFF: 32, MaxSeq: 32, Act: nn.ActSiLU,
+	}
+	m := model.New(cfg, 17)
+	opts := model.DefaultTrainOpts()
+	opts.Steps = 100
+	opts.Batch = 2
+	opts.SeqLen = 31
+	if _, err := model.Train(m, tok.Encode(splits.Train), opts); err != nil {
+		t.Fatal(err)
+	}
+	zoo.m, zoo.tok = m, tok
+	zoo.calib = tok.Encode(splits.Calib)
+	zoo.test = tok.Encode(splits.Test)[:1500]
+}
+
+func TestPerplexityUnderSchemeDenseMatchesNilHook(t *testing.T) {
+	trained(t)
+	pplDense := model.Perplexity(zoo.m, zoo.test, 32, nil)
+	ppl, density := PerplexityUnderScheme(zoo.m, sparsity.Dense{}, zoo.test, 32)
+	if math.Abs(ppl-pplDense) > 1e-9 {
+		t.Fatalf("dense scheme ppl %v != nil hook ppl %v", ppl, pplDense)
+	}
+	if math.Abs(density-1) > 1e-9 {
+		t.Fatalf("dense density = %v", density)
+	}
+}
+
+func TestSparserIsWorsePPL(t *testing.T) {
+	trained(t)
+	p80, d80 := PerplexityUnderScheme(zoo.m, sparsity.NewDIP(0.8), zoo.test, 32)
+	p30, d30 := PerplexityUnderScheme(zoo.m, sparsity.NewDIP(0.3), zoo.test, 32)
+	if p30 <= p80 {
+		t.Fatalf("30%% density ppl %v should exceed 80%% density ppl %v", p30, p80)
+	}
+	if d30 >= d80 {
+		t.Fatalf("measured densities inverted: %v vs %v", d30, d80)
+	}
+}
+
+func TestMCAccuracy(t *testing.T) {
+	trained(t)
+	// Spelling corruption only needs character statistics, which even the
+	// miniature test model learns; agreement needs the paper-scale models.
+	items := data.GenerateTask(data.TaskSpelling, 30, tensor.NewRNG(71))
+	dense := MCAccuracy(zoo.m, nil, zoo.tok, items)
+	if dense < 40 {
+		t.Fatalf("trained model near chance on spelling: %v%%", dense)
+	}
+	aggressive := MCAccuracy(zoo.m, sparsity.NewDIP(0.1), zoo.tok, items)
+	if aggressive > dense+10 {
+		t.Fatalf("10%% density (%v%%) should not beat dense (%v%%) by much", aggressive, dense)
+	}
+	if got := MCAccuracy(zoo.m, nil, zoo.tok, nil); got != 0 {
+		t.Fatal("empty item list should score 0")
+	}
+}
+
+func TestSystemEvaluateProducesCoherentPoint(t *testing.T) {
+	trained(t)
+	pt, err := SystemEvaluate(zoo.m, sparsity.NewDIP(0.5), zoo.test, SystemConfig{
+		Device: hwsim.A18Like(), Policy: cache.PolicyLFU, MaxTokens: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.PPL <= 1 || pt.Throughput <= 0 || pt.LatencyS <= 0 {
+		t.Fatalf("incoherent point: %+v", pt)
+	}
+	if pt.HitRate <= 0 || pt.HitRate >= 1 {
+		t.Fatalf("hit rate %v out of open interval", pt.HitRate)
+	}
+	if math.Abs(pt.Density-0.5) > 0.08 {
+		t.Fatalf("measured density %v far from target", pt.Density)
+	}
+	if pt.Scheme != "dip" {
+		t.Fatalf("scheme name %q", pt.Scheme)
+	}
+}
+
+func TestSystemEvaluateBeladyMatchesAccessStream(t *testing.T) {
+	trained(t)
+	cfgFor := func(p cache.Policy) SystemConfig {
+		return SystemConfig{Device: hwsim.A18Like(), Policy: p, MaxTokens: 600}
+	}
+	dip := sparsity.NewDIP(0.5)
+	bel, err := SystemEvaluate(zoo.m, dip, zoo.test, cfgFor(cache.PolicyBelady))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru, err := SystemEvaluate(zoo.m, dip, zoo.test, cfgFor(cache.PolicyLRU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfu, err := SystemEvaluate(zoo.m, dip, zoo.test, cfgFor(cache.PolicyLFU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical model quality (masks don't depend on the cache)...
+	if math.Abs(bel.PPL-lru.PPL) > 1e-9 || math.Abs(bel.PPL-lfu.PPL) > 1e-9 {
+		t.Fatal("policy must not affect plain-DIP perplexity")
+	}
+	// ...but the oracle's hit rate upper-bounds the practical policies.
+	if bel.HitRate < lru.HitRate-1e-9 || bel.HitRate < lfu.HitRate-1e-9 {
+		t.Fatalf("Belady hit rate %.4f below LRU %.4f or LFU %.4f", bel.HitRate, lru.HitRate, lfu.HitRate)
+	}
+}
+
+func TestSystemEvaluateRejectsCacheAwareBelady(t *testing.T) {
+	trained(t)
+	_, err := SystemEvaluate(zoo.m, sparsity.NewDIPCA(0.5, 0.2), zoo.test, SystemConfig{
+		Device: hwsim.A18Like(), Policy: cache.PolicyBelady, MaxTokens: 200,
+	})
+	if err == nil {
+		t.Fatal("expected rejection of DIP-CA under Belady")
+	}
+}
+
+func TestDIPCABeatsDIPThroughputAtSimilarPPL(t *testing.T) {
+	trained(t)
+	cfg := SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU, MaxTokens: 800}
+	plain, err := SystemEvaluate(zoo.m, sparsity.NewDIP(0.5), zoo.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := SystemEvaluate(zoo.m, sparsity.NewDIPCA(0.5, 0.2), zoo.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("DIP: ppl %.3f tput %.3f hit %.3f | DIP-CA: ppl %.3f tput %.3f hit %.3f",
+		plain.PPL, plain.Throughput, plain.HitRate, ca.PPL, ca.Throughput, ca.HitRate)
+	if ca.Throughput <= plain.Throughput {
+		t.Fatalf("DIP-CA throughput %.4f not above DIP %.4f", ca.Throughput, plain.Throughput)
+	}
+	// The accuracy cost of re-weighting must be modest at γ=0.2.
+	if ca.PPL > plain.PPL*1.5 {
+		t.Fatalf("DIP-CA ppl %.3f blew up vs DIP %.3f", ca.PPL, plain.PPL)
+	}
+}
+
+func TestBestThroughput(t *testing.T) {
+	points := []Point{
+		{PPL: 5.0, Throughput: 1.0},
+		{PPL: 5.4, Throughput: 2.0},
+		{PPL: 6.0, Throughput: 3.0},
+	}
+	best, ok := BestThroughput(points, 5.5)
+	if !ok || best.Throughput != 2.0 {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+	if _, ok := BestThroughput(points, 4.0); ok {
+		t.Fatal("no point should qualify")
+	}
+}
+
+func TestDensityAccumulator(t *testing.T) {
+	trained(t)
+	acc := NewDensityAccumulator(zoo.m)
+	if acc.Mean() != 0 {
+		t.Fatal("empty accumulator should be 0")
+	}
+	var ta sparsity.TokenAccess
+	ta.Groups[sparsity.GroupUpRows] = sparsity.GroupAccess{Kind: sparsity.AccessDense}
+	ta.Groups[sparsity.GroupGateRows] = sparsity.GroupAccess{Kind: sparsity.AccessDense}
+	ta.Groups[sparsity.GroupDown] = sparsity.GroupAccess{Kind: sparsity.AccessDense}
+	acc.Add(&ta)
+	if acc.Mean() != 1 {
+		t.Fatalf("mean = %v", acc.Mean())
+	}
+}

@@ -1,0 +1,296 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Each driver takes
+// a Lab — a cache of trained model analogs, corpus splits, predictors and
+// adapters at a chosen scale — and returns renderable Tables with the same
+// rows/series the paper reports. cmd/dipbench and bench_test.go share
+// these drivers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/lora"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/prune"
+	"repro/internal/sparsity"
+)
+
+// Lab prepares and memoizes every expensive artifact the drivers need.
+type Lab struct {
+	Scale model.Scale
+	// CheckpointDir, when non-empty, persists trained base models across
+	// processes (written by cmd/diptrain, read by cmd/dipbench).
+	CheckpointDir string
+	// Log receives progress lines (nil silences).
+	Log io.Writer
+
+	tok    *data.Tokenizer
+	splits data.Splits
+	once   sync.Once
+
+	mu      sync.Mutex
+	models  map[string]*model.Model
+	preds   map[string]*predictor.Set
+	pruned  map[string]*model.Model
+	fused   map[string]*model.Model
+	catsSch map[string]*sparsity.CATS
+}
+
+// NewLab returns a lab at the given scale.
+func NewLab(scale model.Scale) *Lab {
+	return &Lab{
+		Scale:   scale,
+		models:  make(map[string]*model.Model),
+		preds:   make(map[string]*predictor.Set),
+		pruned:  make(map[string]*model.Model),
+		fused:   make(map[string]*model.Model),
+		catsSch: make(map[string]*sparsity.CATS),
+	}
+}
+
+func (l *Lab) logf(format string, args ...any) {
+	if l.Log != nil {
+		fmt.Fprintf(l.Log, format+"\n", args...)
+	}
+}
+
+func (l *Lab) init() {
+	l.once.Do(func() {
+		l.tok = data.NewTokenizer()
+		trainLen, otherLen := 60000, 12000
+		if l.Scale == model.ScalePaper {
+			trainLen, otherLen = 200000, 30000
+		}
+		l.splits = data.NewSplits(2024, trainLen, otherLen)
+	})
+}
+
+// Tokenizer returns the corpus tokenizer.
+func (l *Lab) Tokenizer() *data.Tokenizer {
+	l.init()
+	return l.tok
+}
+
+// CalibTokens returns the calibration split as token ids.
+func (l *Lab) CalibTokens() []int {
+	l.init()
+	return l.tok.Encode(l.splits.Calib)
+}
+
+// ValidTokens returns the validation split as token ids.
+func (l *Lab) ValidTokens() []int {
+	l.init()
+	return l.tok.Encode(l.splits.Valid)
+}
+
+// TestTokens returns up to n test tokens (n ≤ 0 means the scale default).
+func (l *Lab) TestTokens(n int) []int {
+	l.init()
+	toks := l.tok.Encode(l.splits.Test)
+	if n <= 0 {
+		n = 2000
+		if l.Scale == model.ScalePaper {
+			n = 8000
+		}
+	}
+	if n < len(toks) {
+		toks = toks[:n]
+	}
+	return toks
+}
+
+// EvalWin returns the perplexity window length for the scale.
+func (l *Lab) EvalWin() int { return 64 }
+
+// MCItems returns a task battery of the given kind sized for the scale.
+func (l *Lab) MCItems(kind data.TaskKind, seed uint64) []data.MCItem {
+	l.init()
+	n := 30
+	if l.Scale == model.ScalePaper {
+		n = 120
+	}
+	return data.GenerateTask(kind, n, rng(seed))
+}
+
+// MixedMCItems returns a blend across task kinds, the MMLU stand-in.
+func (l *Lab) MixedMCItems(seed uint64) []data.MCItem {
+	l.init()
+	per := 10
+	if l.Scale == model.ScalePaper {
+		per = 30
+	}
+	var items []data.MCItem
+	for i, kind := range data.TaskKinds() {
+		items = append(items, data.GenerateTask(kind, per, rng(seed+uint64(i)))...)
+	}
+	return items
+}
+
+// trainOpts returns the per-scale training configuration.
+func (l *Lab) trainOpts() model.TrainOpts {
+	opts := model.DefaultTrainOpts()
+	if l.Scale == model.ScaleTest {
+		opts.Steps = 120
+		opts.Batch = 2
+		opts.SeqLen = 48
+	} else {
+		opts.Steps = 350
+		opts.Batch = 4
+		opts.SeqLen = 64
+	}
+	return opts
+}
+
+// Model returns the trained analog, training (or loading a checkpoint) on
+// first use.
+func (l *Lab) Model(name string) *model.Model {
+	l.init()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m, ok := l.models[name]; ok {
+		return m
+	}
+	if l.CheckpointDir != "" {
+		path := l.checkpointPath(name)
+		if m, err := model.LoadCheckpointFile(path); err == nil {
+			l.logf("loaded %s from %s", name, path)
+			l.models[name] = m
+			return m
+		}
+	}
+	cfg, err := model.ConfigFor(name, l.Scale)
+	if err != nil {
+		panic(err)
+	}
+	m := model.New(cfg, 1000+hash(name))
+	l.logf("training %s (%d params)...", name, countParams(m))
+	opts := l.trainOpts()
+	opts.Seed = 500 + hash(name)
+	if _, err := model.Train(m, l.tok.Encode(l.splits.Train), opts); err != nil {
+		panic(fmt.Sprintf("experiments: training %s: %v", name, err))
+	}
+	if l.CheckpointDir != "" {
+		if err := os.MkdirAll(l.CheckpointDir, 0o755); err == nil {
+			if err := model.SaveCheckpointFile(l.checkpointPath(name), m); err != nil {
+				l.logf("warning: saving %s checkpoint: %v", name, err)
+			}
+		}
+	}
+	l.models[name] = m
+	return m
+}
+
+func (l *Lab) checkpointPath(name string) string {
+	scale := "test"
+	if l.Scale == model.ScalePaper {
+		scale = "paper"
+	}
+	return filepath.Join(l.CheckpointDir, fmt.Sprintf("%s-%s.ckpt", name, scale))
+}
+
+// Predictors returns trained DejaVu predictors for the analog.
+func (l *Lab) Predictors(name string) *predictor.Set {
+	m := l.Model(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.preds[name]; ok {
+		return s
+	}
+	l.logf("training predictors for %s...", name)
+	opts := predictor.DefaultTrainOpts()
+	if l.Scale == model.ScaleTest {
+		opts.Epochs = 4
+		opts.MaxTokens = 192
+	}
+	s := predictor.Train(m, l.CalibTokens(), l.EvalWin(), opts)
+	l.preds[name] = s
+	return s
+}
+
+// SparseGPT returns a cached SparseGPT-pruned copy of the analog.
+func (l *Lab) SparseGPT(name string, pattern prune.Pattern, sparsityFrac float64) *model.Model {
+	m := l.Model(name)
+	key := fmt.Sprintf("%s/%v/%.2f", name, pattern, sparsityFrac)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p, ok := l.pruned[key]; ok {
+		return p
+	}
+	l.logf("sparsegpt %s...", key)
+	opts := prune.DefaultOpts()
+	opts.Sparsity = sparsityFrac
+	p, err := prune.SparseGPTModel(m, l.CalibTokens(), l.EvalWin(), pattern, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sparsegpt %s: %v", key, err))
+	}
+	l.pruned[key] = p
+	return p
+}
+
+// CATS returns a calibrated CATS scheme at the intermediate keep rate.
+func (l *Lab) CATS(name string, rho float64) *sparsity.CATS {
+	m := l.Model(name)
+	key := fmt.Sprintf("%s/%.3f", name, rho)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.catsSch[key]; ok {
+		return s
+	}
+	s := sparsity.NewCATS(m, l.CalibTokens(), l.EvalWin(), rho)
+	l.catsSch[key] = s
+	return s
+}
+
+// Fused returns the analog with LoRA adapters trained for the scheme and
+// fused in (memoized by model + scheme name + density key).
+func (l *Lab) Fused(name string, scheme sparsity.Scheme, densityKey string, adaptGate bool) *model.Model {
+	m := l.Model(name)
+	key := fmt.Sprintf("%s/%s/%s", name, scheme.Name(), densityKey)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.fused[key]; ok {
+		return f
+	}
+	l.logf("training LoRA for %s...", key)
+	opts := lora.DefaultTrainOpts()
+	opts.AdaptGate = adaptGate
+	if l.Scale == model.ScaleTest {
+		opts.Iterations = 250
+		opts.MaxTokens = 128
+	} else {
+		opts.Iterations = 700
+	}
+	adapters, err := lora.Train(m, scheme, l.CalibTokens(), l.EvalWin(), opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: lora %s: %v", key, err))
+	}
+	f, err := lora.Fuse(m, adapters)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fuse %s: %v", key, err))
+	}
+	l.fused[key] = f
+	return f
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func countParams(m *model.Model) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/hwsim"
+	"repro/internal/model"
+	"repro/internal/prune"
+	"repro/internal/quant"
+	"repro/internal/sparsity"
+)
+
+// memoryMB computes the paper-scale DRAM footprint of the Phi-3-Medium
+// analog: pinned static share plus the MLP bytes at the method's effective
+// bits/weight, scaled by the dynamic density for +DIP points.
+func memoryMB(m *model.Model, bytesPerWeight, density float64) float64 {
+	paper := hwsim.PaperModelBytes[m.Cfg.Name]
+	const staticFraction = 0.15
+	// Paper footprints assume INT4 (0.5 B/w); rescale the MLP share.
+	mlpBytes := (1 - staticFraction) * paper * (bytesPerWeight / 0.5) * density
+	return (staticFraction*paper + mlpBytes) / 1e6
+}
+
+// Fig9 compares and combines DIP with quantization and static pruning on
+// the memory/perplexity plane (paper Figure 9).
+func Fig9(l *Lab) ([]*Table, error) {
+	name := model.Phi3MedSim
+	m := l.Model(name)
+	test := l.TestTokens(0)
+	win := l.EvalWin()
+	calib := l.CalibTokens()
+	out := &Table{
+		ID:      "fig9",
+		Title:   "DIP vs and with quantization / static pruning (memory-perplexity plane)",
+		Columns: []string{"config", "memory_mb", "ppl"},
+	}
+	densePPL := model.Perplexity(m, test, win, nil)
+	out.AddRow("dense-fp16", memoryMB(m, 2.0, 1), densePPL)
+
+	// Blockwise quantization at 2/3/4 bits.
+	bqBits := []int{2, 3, 4}
+	if l.Scale == model.ScaleTest {
+		bqBits = []int{2, 4}
+	}
+	bqModels := map[int]*model.Model{}
+	for _, bits := range bqBits {
+		opts := quant.DefaultBQOpts(bits)
+		qm, err := quant.BQModel(m, calib, win, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bq%d: %w", bits, err)
+		}
+		bqModels[bits] = qm
+		ppl := model.Perplexity(qm, test, win, nil)
+		out.AddRow(fmt.Sprintf("bq%d", bits), memoryMB(m, quant.BQBytesPerWeight(opts), 1), ppl)
+	}
+	// Vector quantization at 2/3 bits.
+	vqBits := []int{2, 3}
+	if l.Scale == model.ScaleTest {
+		vqBits = []int{3}
+	}
+	vqModels := map[int]*model.Model{}
+	for _, bits := range vqBits {
+		opts := quant.DefaultVQOpts(bits)
+		qm := quant.VQModel(m, opts)
+		vqModels[bits] = qm
+		ppl := model.Perplexity(qm, test, win, nil)
+		out.AddRow(fmt.Sprintf("vq%d", bits), memoryMB(m, quant.VQBytesPerWeight(opts), 1), ppl)
+	}
+	// SparseGPT at 4-bit storage with the 1-bit mask overhead.
+	for _, s := range []float64{0.5} {
+		pm := l.SparseGPT(name, prune.Unstructured, s)
+		ppl := model.Perplexity(pm, test, win, nil)
+		bpw := 0.5 + prune.MaskOverheadBits/8 // 4-bit payload + mask bit
+		out.AddRow(fmt.Sprintf("sparsegpt-%.0f%%+bq4", 100*s), memoryMB(m, bpw, 1-s), ppl)
+	}
+	// BQ4+DIP and VQ3+DIP density sweeps: dynamic sparsity on top of a
+	// quantized model.
+	densities := []float64{0.4, 0.5, 0.65, 0.8}
+	if l.Scale == model.ScaleTest {
+		densities = []float64{0.5, 0.8}
+	}
+	if qm, ok := bqModels[4]; ok {
+		for _, d := range densities {
+			ppl, meas := eval.PerplexityUnderScheme(qm, sparsity.NewDIP(d), test, win)
+			out.AddRow(fmt.Sprintf("bq4+dip@%.2f", d), memoryMB(m, quant.BQBytesPerWeight(quant.DefaultBQOpts(4)), meas), ppl)
+		}
+	}
+	if qm, ok := vqModels[3]; ok {
+		for _, d := range densities {
+			ppl, meas := eval.PerplexityUnderScheme(qm, sparsity.NewDIP(d), test, win)
+			out.AddRow(fmt.Sprintf("vq3+dip@%.2f", d), memoryMB(m, quant.VQBytesPerWeight(quant.DefaultVQOpts(3)), meas), ppl)
+		}
+	}
+	out.Notes = append(out.Notes,
+		"paper Figure 9: BQ4+DIP beats more aggressive static quantization; DIP composes with quantizers")
+	return []*Table{out}, nil
+}

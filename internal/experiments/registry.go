@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps experiment ids to drivers.
+var registry = map[string]Driver{
+	"fig2":      Fig2,
+	"fig3":      Fig3,
+	"fig4":      Fig4,
+	"fig6":      Fig6,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"fig14":     Fig14,
+	"tab1":      Table1,
+	"tab2":      Table2,
+	"tab3":      Table3,
+	"tab4":      Table4,
+	"tab5":      Table5,
+	"tab6":      Table6,
+	"tab7":      Table7,
+	"abl-alloc": AblAlloc,
+}
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id against the lab.
+func Run(l *Lab, id string) ([]*Table, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return d(l)
+}

@@ -1,0 +1,86 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sparsity"
+)
+
+func TestLayerWeightsFromTrace(t *testing.T) {
+	tr := cache.NewTraceRecorder()
+	// Layer 0 touches 3 units per token, layer 1 touches 1.
+	for i := 0; i < 10; i++ {
+		var ta sparsity.TokenAccess
+		ta.Groups[sparsity.GroupDown] = sparsity.GroupAccess{Kind: sparsity.AccessSparse, Units: []int{1, 2, 3}}
+		tr.Record(0, &ta)
+		var tb sparsity.TokenAccess
+		tb.Groups[sparsity.GroupDown] = sparsity.GroupAccess{Kind: sparsity.AccessSparse, Units: []int{4}}
+		tr.Record(1, &tb)
+	}
+	w := LayerWeightsFromTrace(tr, 2)
+	if math.Abs(w[0]+w[1]-2) > 1e-9 {
+		t.Fatalf("weights not mean-1 normalized: %v", w)
+	}
+	if math.Abs(w[0]/w[1]-3) > 1e-9 {
+		t.Fatalf("weight ratio = %v, want 3", w[0]/w[1])
+	}
+	// Empty trace → uniform.
+	w2 := LayerWeightsFromTrace(cache.NewTraceRecorder(), 3)
+	for _, x := range w2 {
+		if x != 1 {
+			t.Fatalf("empty trace weights = %v", w2)
+		}
+	}
+}
+
+func TestApplyLayerWeights(t *testing.T) {
+	m := testModel()
+	p, err := NewPlan(m, A18Like(), PlanOpts{Groups: dipGroups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := make([][sparsity.NumGroups]int, len(p.Caps))
+	copy(uniform, p.Caps)
+	// Skew everything toward layer 0.
+	if err := p.ApplyLayerWeights([]float64{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Caps[0][sparsity.GroupDown] <= uniform[0][sparsity.GroupDown] {
+		t.Fatalf("layer 0 capacity did not grow: %d vs %d",
+			p.Caps[0][sparsity.GroupDown], uniform[0][sparsity.GroupDown])
+	}
+	if p.Caps[1][sparsity.GroupDown] >= uniform[1][sparsity.GroupDown] {
+		t.Fatalf("layer 1 capacity did not shrink: %d vs %d",
+			p.Caps[1][sparsity.GroupDown], uniform[1][sparsity.GroupDown])
+	}
+	// Total capacity bytes conserved within rounding.
+	bytesOf := func(caps [][sparsity.NumGroups]int) float64 {
+		var total float64
+		for l := range caps {
+			for g := sparsity.GroupID(0); g < sparsity.NumGroups; g++ {
+				total += float64(caps[l][g]) * p.UnitBytes(g)
+			}
+		}
+		return total
+	}
+	before, after := bytesOf(uniform), bytesOf(p.Caps)
+	if math.Abs(before-after) > 0.1*before {
+		t.Fatalf("budget not conserved: %v -> %v", before, after)
+	}
+}
+
+func TestApplyLayerWeightsValidation(t *testing.T) {
+	m := testModel()
+	p, _ := NewPlan(m, A18Like(), PlanOpts{Groups: dipGroups()})
+	if err := p.ApplyLayerWeights([]float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := p.ApplyLayerWeights([]float64{-1, 1}); err == nil {
+		t.Fatal("expected negativity error")
+	}
+	if err := p.ApplyLayerWeights([]float64{0, 0}); err == nil {
+		t.Fatal("expected all-zero error")
+	}
+}

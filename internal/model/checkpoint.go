@@ -1,0 +1,118 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// checkpoint format: magic, config fields (little-endian uint32 each, with
+// the name length-prefixed), then the nn parameter container.
+var ckptMagic = [4]byte{'D', 'I', 'P', 'C'}
+
+// SaveCheckpoint writes the model (config + weights) to w.
+func SaveCheckpoint(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	name := []byte(m.Cfg.Name)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	fields := []uint32{
+		uint32(m.Cfg.Vocab), uint32(m.Cfg.Dim), uint32(m.Cfg.Layers),
+		uint32(m.Cfg.Heads), uint32(m.Cfg.KVHeads), uint32(m.Cfg.DFF),
+		uint32(m.Cfg.MaxSeq), uint32(m.Cfg.Act),
+	}
+	for _, f := range fields {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	if err := nn.SaveParams(bw, m.Params()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint and returns
+// the reconstructed model.
+func LoadCheckpoint(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("model: reading checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("model: bad checkpoint magic %q", magic[:])
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<12 {
+		return nil, fmt.Errorf("model: implausible name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, err
+	}
+	var fields [8]uint32
+	for i := range fields {
+		if err := binary.Read(br, binary.LittleEndian, &fields[i]); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{
+		Name:  string(nameBuf),
+		Vocab: int(fields[0]), Dim: int(fields[1]), Layers: int(fields[2]),
+		Heads: int(fields[3]), KVHeads: int(fields[4]), DFF: int(fields[5]),
+		MaxSeq: int(fields[6]), Act: nn.Activation(fields[7]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := New(cfg, 0)
+	if err := nn.LoadParams(br, m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveCheckpointFile writes the model to path, creating parent-less files
+// atomically via a temp file + rename.
+func SaveCheckpointFile(path string, m *Model) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveCheckpoint(f, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile reads a model checkpoint from path.
+func LoadCheckpointFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

@@ -1,0 +1,282 @@
+// Package model assembles the nn layers into a decoder-only transformer
+// language model (RMSNorm → GQA attention → RMSNorm → gated MLP, with
+// residual connections), provides deterministic training from scratch,
+// teacher-forced scoring, incremental decoding, and checkpointing.
+//
+// Inference entry points accept an MLPHook: a function that replaces the
+// dense MLP forward at each (layer, token). The sparsity package supplies
+// hooks implementing every pruning scheme in the paper; passing a nil hook
+// evaluates the dense model. Tokens flow through each layer in sequence
+// order, so hooks that carry state across tokens (the DRAM cache of
+// DIP-CA) observe the same order a real decoder would.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config describes a model architecture.
+type Config struct {
+	Name    string
+	Vocab   int
+	Dim     int
+	Layers  int
+	Heads   int
+	KVHeads int
+	DFF     int
+	MaxSeq  int
+	Act     nn.Activation
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Vocab <= 0 || c.Dim <= 0 || c.Layers <= 0 || c.DFF <= 0 || c.MaxSeq <= 0:
+		return fmt.Errorf("model: non-positive dimension in config %+v", c)
+	case c.Dim%c.Heads != 0:
+		return fmt.Errorf("model: dim %d not divisible by heads %d", c.Dim, c.Heads)
+	case c.Heads%c.KVHeads != 0:
+		return fmt.Errorf("model: heads %d not divisible by kv heads %d", c.Heads, c.KVHeads)
+	}
+	return nil
+}
+
+// Block is one transformer layer.
+type Block struct {
+	Norm1 *nn.RMSNorm
+	Attn  *nn.Attention
+	Norm2 *nn.RMSNorm
+	MLP   *nn.GLUMLP
+}
+
+// Model is the assembled language model.
+type Model struct {
+	Cfg    Config
+	Embed  *nn.Embedding
+	Blocks []*Block
+	NormF  *nn.RMSNorm
+	Head   *nn.Linear
+}
+
+// New builds a model with freshly initialized weights from the seed.
+func New(cfg Config, seed uint64) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := tensor.NewRNG(seed)
+	m := &Model{Cfg: cfg}
+	m.Embed = nn.NewEmbedding(cfg.Vocab, cfg.MaxSeq, cfg.Dim, rng.Split(1))
+	for l := 0; l < cfg.Layers; l++ {
+		b := &Block{
+			Norm1: nn.NewRMSNorm(fmt.Sprintf("b%d.norm1", l), cfg.Dim),
+			Attn:  nn.NewAttention(fmt.Sprintf("b%d.attn", l), cfg.Dim, cfg.Heads, cfg.KVHeads, rng.Split(uint64(10+l))),
+			Norm2: nn.NewRMSNorm(fmt.Sprintf("b%d.norm2", l), cfg.Dim),
+			MLP:   nn.NewGLUMLP(fmt.Sprintf("b%d.mlp", l), cfg.Dim, cfg.DFF, cfg.Act, rng.Split(uint64(100+l))),
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	m.NormF = nn.NewRMSNorm("normf", cfg.Dim)
+	m.Head = nn.NewLinear("head", cfg.Vocab, cfg.Dim, rng.Split(2))
+	return m
+}
+
+// Params implements nn.Module.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.Embed.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Norm1.Params()...)
+		ps = append(ps, b.Attn.Params()...)
+		ps = append(ps, b.Norm2.Params()...)
+		ps = append(ps, b.MLP.Params()...)
+	}
+	ps = append(ps, m.NormF.Params()...)
+	ps = append(ps, m.Head.Params()...)
+	return ps
+}
+
+// MLPWeightCount returns the total scalar weights in all MLP blocks — the
+// denominator for MLP-density metrics.
+func (m *Model) MLPWeightCount() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.MLP.WeightCount()
+	}
+	return n
+}
+
+// StaticWeightCount returns the weights outside the MLPs (embeddings,
+// attention, norms, head) — the portion pinned in DRAM by the simulator.
+func (m *Model) StaticWeightCount() int {
+	return nn.CountParams(m) - m.MLPWeightCount()
+}
+
+// MLPHook replaces the dense MLP at inference time. x is the post-norm
+// input to the MLP of the given layer; the hook returns the block output to
+// be added to the residual stream.
+type MLPHook func(layer int, x tensor.Vec) tensor.Vec
+
+// Forward computes logits for every position with optional MLP hook. It is
+// the inference path: activations are not retained for backprop.
+func (m *Model) Forward(ids []int, hook MLPHook) []tensor.Vec {
+	xs := m.Embed.Forward(ids)
+	buf := tensor.NewVec(m.Cfg.Dim)
+	for l, b := range m.Blocks {
+		normed := make([]tensor.Vec, len(xs))
+		for t, x := range xs {
+			normed[t] = b.Norm1.Apply(x, nil)
+		}
+		attnOut, _ := b.Attn.Forward(normed)
+		for t := range xs {
+			xs[t].Add(attnOut[t])
+		}
+		for _, x := range xs {
+			b.Norm2.Apply(x, buf)
+			var out tensor.Vec
+			if hook != nil {
+				out = hook(l, buf)
+			} else {
+				out = b.MLP.Apply(buf)
+			}
+			x.Add(out)
+		}
+	}
+	logits := make([]tensor.Vec, len(xs))
+	for t, x := range xs {
+		m.NormF.Apply(x, buf)
+		logits[t] = m.Head.Apply(buf, nil)
+	}
+	return logits
+}
+
+// Decoder performs incremental token-by-token decoding with per-layer KV
+// caches, honoring the same MLP hook contract as Forward.
+type Decoder struct {
+	m      *Model
+	caches []*nn.KVCache
+	pos    int
+	hook   MLPHook
+}
+
+// NewDecoder returns a fresh decoding session.
+func (m *Model) NewDecoder(hook MLPHook) *Decoder {
+	caches := make([]*nn.KVCache, len(m.Blocks))
+	for i := range caches {
+		caches[i] = &nn.KVCache{}
+	}
+	return &Decoder{m: m, caches: caches, hook: hook}
+}
+
+// Pos returns the number of tokens consumed so far.
+func (d *Decoder) Pos() int { return d.pos }
+
+// Step consumes one token id and returns the logits for the next token.
+// It panics when the positional table is exhausted.
+func (d *Decoder) Step(id int) tensor.Vec {
+	if d.pos >= d.m.Cfg.MaxSeq {
+		panic("model: decoder exceeded MaxSeq")
+	}
+	x := d.m.Embed.At(id, d.pos)
+	d.pos++
+	buf := tensor.NewVec(d.m.Cfg.Dim)
+	for l, b := range d.m.Blocks {
+		b.Norm1.Apply(x, buf)
+		attnOut := b.Attn.Step(buf, d.caches[l])
+		x.Add(attnOut)
+		b.Norm2.Apply(x, buf)
+		var out tensor.Vec
+		if d.hook != nil {
+			out = d.hook(l, buf)
+		} else {
+			out = b.MLP.Apply(buf)
+		}
+		x.Add(out)
+	}
+	d.m.NormF.Apply(x, buf)
+	return d.m.Head.Apply(buf, nil)
+}
+
+// TrainStep runs one forward/backward pass over a sequence, accumulating
+// gradients into the parameters, and returns the mean cross-entropy.
+// targets[t] is the token that should follow ids[t].
+func (m *Model) TrainStep(ids, targets []int) float64 {
+	logits, back := m.forwardTrain(ids)
+	dlogits := make([]tensor.Vec, len(logits))
+	for i := range dlogits {
+		dlogits[i] = tensor.NewVec(m.Cfg.Vocab)
+	}
+	loss := nn.CrossEntropy(logits, targets, dlogits)
+	back(dlogits)
+	return loss
+}
+
+// DistillStep runs a forward/backward pass with a knowledge-distillation
+// loss against fixed teacher logits (mean KL(teacher‖student)), returning
+// the loss. Used for LoRA fine-tuning.
+func (m *Model) DistillStep(ids []int, teacher []tensor.Vec) float64 {
+	logits, back := m.forwardTrain(ids)
+	dlogits := make([]tensor.Vec, len(logits))
+	for i := range dlogits {
+		dlogits[i] = tensor.NewVec(m.Cfg.Vocab)
+	}
+	loss := nn.KLDivergence(teacher, logits, dlogits)
+	back(dlogits)
+	return loss
+}
+
+// forwardTrain runs the full forward pass retaining every layer context and
+// returns the logits plus a backward closure that accumulates parameter
+// gradients when fed ∂loss/∂logits.
+func (m *Model) forwardTrain(ids []int) ([]tensor.Vec, func([]tensor.Vec)) {
+	xs := m.Embed.Forward(ids)
+	type blockBack func(dxs []tensor.Vec) []tensor.Vec
+	var backs []blockBack
+	for _, b := range m.Blocks {
+		b := b
+		// Attention sub-block with residual.
+		normed, n1ctx := b.Norm1.Forward(xs)
+		attnOut, actx := b.Attn.Forward(normed)
+		pre := xs
+		xs = addSeq(pre, attnOut)
+		backs = append(backs, func(dxs []tensor.Vec) []tensor.Vec {
+			dattn := b.Attn.Backward(dxs, actx)
+			dpre := b.Norm1.Backward(dattn, n1ctx)
+			return addSeq(dxs, dpre) // residual: gradient flows both ways
+		})
+		// MLP sub-block with residual.
+		normed2, n2ctx := b.Norm2.Forward(xs)
+		mlpOut, mctx := b.MLP.Forward(normed2)
+		pre2 := xs
+		xs = addSeq(pre2, mlpOut)
+		backs = append(backs, func(dxs []tensor.Vec) []tensor.Vec {
+			dmlp := b.MLP.Backward(dxs, mctx)
+			dpre := b.Norm2.Backward(dmlp, n2ctx)
+			return addSeq(dxs, dpre)
+		})
+	}
+	normedF, nfctx := m.NormF.Forward(xs)
+	logits, hctx := m.Head.Forward(normedF)
+	backward := func(dlogits []tensor.Vec) {
+		dnf := m.Head.Backward(dlogits, hctx)
+		dxs := m.NormF.Backward(dnf, nfctx)
+		for i := len(backs) - 1; i >= 0; i-- {
+			dxs = backs[i](dxs)
+		}
+		m.Embed.Backward(dxs, ids)
+	}
+	return logits, backward
+}
+
+// addSeq returns element-wise a[t] + b[t] as fresh vectors.
+func addSeq(a, b []tensor.Vec) []tensor.Vec {
+	out := make([]tensor.Vec, len(a))
+	for t := range a {
+		v := a[t].Clone()
+		v.Add(b[t])
+		out[t] = v
+	}
+	return out
+}

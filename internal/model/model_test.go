@@ -1,0 +1,325 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Name: "tiny", Vocab: 11, Dim: 16, Layers: 2, Heads: 2, KVHeads: 1,
+		DFF: 24, MaxSeq: 32, Act: nn.ActSiLU,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tinyConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Heads = 3 // 16 % 3 != 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	bad2 := good
+	bad2.KVHeads = 3
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected kv divisibility error")
+	}
+	bad3 := good
+	bad3.Vocab = 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("expected non-positive error")
+	}
+}
+
+func TestModelEndToEndGradients(t *testing.T) {
+	m := New(tinyConfig(), 7)
+	ids := []int{1, 4, 2, 9, 0, 3}
+	targets := []int{4, 2, 9, 0, 3, 5}
+	loss := func() float64 {
+		logits := m.Forward(ids, nil)
+		return nn.CrossEntropy(logits, targets, nil)
+	}
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	m.TrainStep(ids, targets)
+	rng := tensor.NewRNG(31)
+	checked := 0
+	for _, p := range m.Params() {
+		for c := 0; c < 3; c++ {
+			i := rng.Intn(p.Size())
+			analytic, numeric := nn.GradCheck(p, i, loss, 1e-2)
+			scale := math.Max(math.Abs(analytic), math.Abs(numeric))
+			if scale < 1e-4 {
+				continue
+			}
+			if math.Abs(analytic-numeric)/scale > 0.08 {
+				t.Fatalf("%s[%d]: analytic %.6g vs numeric %.6g", p.Name, i, analytic, numeric)
+			}
+			checked++
+		}
+		p.ZeroGrad()
+	}
+	if checked < 10 {
+		t.Fatalf("too few gradient entries checked: %d", checked)
+	}
+}
+
+func TestTrainingLearnsGrammar(t *testing.T) {
+	tok := data.NewTokenizer()
+	splits := data.NewSplits(11, 20000, 3000)
+	cfg := tinyConfig()
+	cfg.Vocab = tok.VocabSize()
+	m := New(cfg, 5)
+	testTokens := tok.Encode(splits.Test)
+	before := Perplexity(m, testTokens[:1500], 31, nil)
+	opts := DefaultTrainOpts()
+	opts.Steps = 120
+	opts.Batch = 2
+	opts.SeqLen = 31
+	if _, err := Train(m, tok.Encode(splits.Train), opts); err != nil {
+		t.Fatal(err)
+	}
+	after := Perplexity(m, testTokens[:1500], 31, nil)
+	if after >= before {
+		t.Fatalf("training did not reduce perplexity: %.3f -> %.3f", before, after)
+	}
+	// The grammar is highly compressible; even a short run should land far
+	// below the uniform baseline (vocab size).
+	if after > float64(cfg.Vocab)/2 {
+		t.Fatalf("perplexity %.3f suspiciously high after training", after)
+	}
+}
+
+func TestDecoderMatchesForward(t *testing.T) {
+	m := New(tinyConfig(), 13)
+	ids := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	logits := m.Forward(ids, nil)
+	dec := m.NewDecoder(nil)
+	for t2, id := range ids {
+		lg := dec.Step(id)
+		for i := range lg {
+			if math.Abs(float64(lg[i]-logits[t2][i])) > 1e-4 {
+				t.Fatalf("decoder logits diverge at pos %d idx %d: %v vs %v", t2, i, lg[i], logits[t2][i])
+			}
+		}
+	}
+	if dec.Pos() != len(ids) {
+		t.Fatal("decoder position wrong")
+	}
+}
+
+func TestHookInvocationOrder(t *testing.T) {
+	m := New(tinyConfig(), 17)
+	ids := []int{1, 2, 3}
+	var calls []int
+	hook := func(layer int, x tensor.Vec) tensor.Vec {
+		calls = append(calls, layer)
+		return m.Blocks[layer].MLP.Apply(x)
+	}
+	m.Forward(ids, hook)
+	// Per layer, tokens in order: layer0 x3, then layer1 x3.
+	want := []int{0, 0, 0, 1, 1, 1}
+	if len(calls) != len(want) {
+		t.Fatalf("hook called %d times, want %d", len(calls), len(want))
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook order %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestDenseHookMatchesNilHook(t *testing.T) {
+	m := New(tinyConfig(), 19)
+	ids := []int{5, 6, 7, 8}
+	a := m.Forward(ids, nil)
+	b := m.Forward(ids, func(layer int, x tensor.Vec) tensor.Vec {
+		return m.Blocks[layer].MLP.Apply(x)
+	})
+	for t2 := range a {
+		for i := range a[t2] {
+			if math.Abs(float64(a[t2][i]-b[t2][i])) > 1e-5 {
+				t.Fatal("dense hook changes output")
+			}
+		}
+	}
+}
+
+func TestPerplexityUniformUntrained(t *testing.T) {
+	// A zero-initialized head gives near-uniform predictions only after
+	// training; instead check perplexity is finite and positive, and that
+	// an empty stream yields 0.
+	m := New(tinyConfig(), 23)
+	toks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2}
+	p := Perplexity(m, toks, 6, nil)
+	if p <= 1 || math.IsInf(p, 0) || math.IsNaN(p) {
+		t.Fatalf("perplexity = %v", p)
+	}
+	if Perplexity(m, []int{1}, 6, nil) != 0 {
+		t.Fatal("too-short stream should yield 0")
+	}
+}
+
+func TestContinuationLogProb(t *testing.T) {
+	m := New(tinyConfig(), 29)
+	prompt := []int{1, 2, 3}
+	cont := []int{4, 5}
+	lp := ContinuationLogProb(m, prompt, cont, nil)
+	if lp >= 0 || math.IsNaN(lp) {
+		t.Fatalf("log prob = %v", lp)
+	}
+	if got := ContinuationLogProb(m, prompt, nil, nil); got != 0 {
+		t.Fatal("empty continuation should score 0")
+	}
+	// Long inputs are truncated from the left rather than panicking.
+	long := make([]int, 200)
+	_ = ContinuationLogProb(m, long, cont, nil)
+}
+
+func TestGenerateRespectsLengthAndVocab(t *testing.T) {
+	m := New(tinyConfig(), 37)
+	out := Generate(m, []int{1, 2}, 10, 0.8, 99, nil)
+	if len(out) != 10 {
+		t.Fatalf("generated %d tokens, want 10", len(out))
+	}
+	for _, id := range out {
+		if id < 0 || id >= m.Cfg.Vocab {
+			t.Fatalf("generated invalid token %d", id)
+		}
+	}
+	// Greedy generation is deterministic.
+	a := Generate(m, []int{1, 2}, 5, 0, 1, nil)
+	b := Generate(m, []int{1, 2}, 5, 0, 2, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy generation should ignore the seed")
+		}
+	}
+}
+
+func TestGenerateStopsAtMaxSeq(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxSeq = 8
+	m := New(cfg, 41)
+	out := Generate(m, []int{1, 2, 3}, 100, 0, 1, nil)
+	if len(out) > cfg.MaxSeq-len([]int{1, 2, 3})+1 {
+		t.Fatalf("generated %d tokens past MaxSeq", len(out))
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := New(tinyConfig(), 43)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cfg != m.Cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", m2.Cfg, m.Cfg)
+	}
+	ids := []int{1, 2, 3, 4}
+	a := m.Forward(ids, nil)
+	b := m2.Forward(ids, nil)
+	for t2 := range a {
+		for i := range a[t2] {
+			if a[t2][i] != b[t2][i] {
+				t.Fatal("loaded model differs")
+			}
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	m := New(tinyConfig(), 47)
+	path := t.TempDir() + "/ck.bin"
+	if err := SaveCheckpointFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cfg.Name != "tiny" {
+		t.Fatal("name not preserved")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("garbage data here"))); err == nil {
+		t.Fatal("expected error on garbage")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	for _, name := range append(AnalogNames(), ReluFiedSim) {
+		for _, scale := range []Scale{ScaleTest, ScalePaper} {
+			cfg, err := ConfigFor(name, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s at scale %d: %v", name, scale, err)
+			}
+		}
+	}
+	if _, err := ConfigFor("nope", ScaleTest); err == nil {
+		t.Fatal("expected unknown-analog error")
+	}
+	// ReLU-fied analog uses ReLU.
+	cfg, _ := ConfigFor(ReluFiedSim, ScalePaper)
+	if cfg.Act != nn.ActReLU {
+		t.Fatal("relufied analog should use ReLU")
+	}
+	// Size ordering: med > mini.
+	med, _ := ConfigFor(Phi3MedSim, ScalePaper)
+	mini, _ := ConfigFor(Phi3MiniSim, ScalePaper)
+	if med.Dim <= mini.Dim {
+		t.Fatal("phi3med analog should be wider than phi3mini")
+	}
+}
+
+func TestWeightCounts(t *testing.T) {
+	m := New(tinyConfig(), 53)
+	mlp := m.MLPWeightCount()
+	if mlp != 2*3*16*24 {
+		t.Fatalf("MLPWeightCount = %d", mlp)
+	}
+	total := nn.CountParams(m)
+	if m.StaticWeightCount() != total-mlp {
+		t.Fatal("static/MLP partition doesn't sum to total")
+	}
+}
+
+func TestDistillStepReducesKL(t *testing.T) {
+	cfg := tinyConfig()
+	teacherM := New(cfg, 61)
+	student := New(cfg, 67)
+	ids := []int{1, 2, 3, 4, 5}
+	teacherLogits := teacherM.Forward(ids, nil)
+	opt := nn.NewAdam(5e-3)
+	first := -1.0
+	var last float64
+	for i := 0; i < 60; i++ {
+		kl := student.DistillStep(ids, teacherLogits)
+		if first < 0 {
+			first = kl
+		}
+		last = kl
+		opt.Step(student.Params(), 1)
+	}
+	if last >= first {
+		t.Fatalf("distillation did not reduce KL: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Sampler configures autoregressive decoding. The zero value is greedy
+// argmax; Temperature > 0 enables stochastic sampling, optionally
+// restricted to the TopK most likely tokens and/or the TopP nucleus.
+type Sampler struct {
+	// Temperature scales logits before sampling; ≤ 0 means greedy.
+	Temperature float64
+	// TopK, when > 0, restricts sampling to the K most likely tokens.
+	TopK int
+	// TopP, when in (0, 1), restricts sampling to the smallest set of
+	// tokens whose cumulative probability reaches TopP (nucleus sampling).
+	TopP float64
+	// Seed initializes the sampler's private RNG.
+	Seed uint64
+
+	rng *tensor.RNG
+}
+
+// Next draws the next token id from the logits.
+func (s *Sampler) Next(logits tensor.Vec) int {
+	if s.Temperature <= 0 {
+		best, bestV := 0, logits[0]
+		for i, v := range logits {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	if s.rng == nil {
+		s.rng = tensor.NewRNG(s.Seed)
+	}
+	scaled := logits.Clone()
+	scaled.Scale(float32(1 / s.Temperature))
+	p := tensor.Softmax(scaled, scaled)
+	type cand struct {
+		id int
+		p  float32
+	}
+	cands := make([]cand, len(p))
+	for i, pi := range p {
+		cands[i] = cand{i, pi}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].p > cands[b].p })
+	cut := len(cands)
+	if s.TopK > 0 && s.TopK < cut {
+		cut = s.TopK
+	}
+	if s.TopP > 0 && s.TopP < 1 {
+		var cum float32
+		for i := 0; i < cut; i++ {
+			cum += cands[i].p
+			if float64(cum) >= s.TopP {
+				cut = i + 1
+				break
+			}
+		}
+	}
+	cands = cands[:cut]
+	var total float32
+	for _, c := range cands {
+		total += c.p
+	}
+	r := s.rng.Float32() * total
+	var cum float32
+	for _, c := range cands {
+		cum += c.p
+		if r < cum {
+			return c.id
+		}
+	}
+	return cands[len(cands)-1].id
+}
+
+// GenerateWith samples n tokens after the prompt using the sampler,
+// honoring the MLP hook (like Generate, but with top-k/top-p control).
+func GenerateWith(m *Model, prompt []int, n int, s *Sampler, hook MLPHook) []int {
+	dec := m.NewDecoder(hook)
+	var logits tensor.Vec
+	for _, id := range prompt {
+		logits = dec.Step(id)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n && dec.Pos() < m.Cfg.MaxSeq; i++ {
+		next := s.Next(logits)
+		out = append(out, next)
+		if dec.Pos() >= m.Cfg.MaxSeq {
+			break
+		}
+		logits = dec.Step(next)
+	}
+	return out
+}

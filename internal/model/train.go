@@ -1,0 +1,167 @@
+package model
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TrainOpts controls From-scratch language-model training.
+type TrainOpts struct {
+	Steps   int
+	Batch   int     // sequences per optimizer step
+	SeqLen  int     // tokens per sequence
+	LR      float32 // base Adam learning rate
+	Warmup  int     // warmup steps for the cosine schedule
+	Seed    uint64  // window-sampling seed
+	Log     io.Writer
+	LogEach int
+}
+
+// DefaultTrainOpts returns the settings used by the experiment drivers.
+func DefaultTrainOpts() TrainOpts {
+	return TrainOpts{Steps: 300, Batch: 4, SeqLen: 64, LR: 3e-3, Warmup: 20, Seed: 1234, LogEach: 50}
+}
+
+// Train fits the model on the token stream with Adam, sampling random
+// windows each step, and returns the final running loss (nats/token).
+func Train(m *Model, tokens []int, opts TrainOpts) (float64, error) {
+	if opts.SeqLen >= m.Cfg.MaxSeq {
+		opts.SeqLen = m.Cfg.MaxSeq - 1
+	}
+	if len(tokens) < opts.SeqLen+2 {
+		return 0, fmt.Errorf("model: training stream of %d tokens too short for seqlen %d", len(tokens), opts.SeqLen)
+	}
+	rng := tensor.NewRNG(opts.Seed)
+	opt := nn.NewAdam(opts.LR)
+	params := m.Params()
+	running := 0.0
+	for step := 0; step < opts.Steps; step++ {
+		var batchLoss float64
+		for b := 0; b < opts.Batch; b++ {
+			start := rng.Intn(len(tokens) - opts.SeqLen - 1)
+			ids := tokens[start : start+opts.SeqLen]
+			targets := tokens[start+1 : start+opts.SeqLen+1]
+			batchLoss += m.TrainStep(ids, targets)
+		}
+		batchLoss /= float64(opts.Batch)
+		// Average the accumulated gradients over the batch.
+		if opts.Batch > 1 {
+			inv := float32(1) / float32(opts.Batch)
+			for _, p := range params {
+				for i := range p.G.Data {
+					p.G.Data[i] *= inv
+				}
+			}
+		}
+		opt.Step(params, nn.CosineLR(step, opts.Warmup, opts.Steps))
+		if running == 0 {
+			running = batchLoss
+		} else {
+			running = 0.95*running + 0.05*batchLoss
+		}
+		if opts.Log != nil && opts.LogEach > 0 && (step+1)%opts.LogEach == 0 {
+			fmt.Fprintf(opts.Log, "step %4d/%d loss %.4f ppl %.3f\n", step+1, opts.Steps, running, nn.Perplexity(running))
+		}
+	}
+	if err := nn.CheckFinite(m); err != nil {
+		return running, err
+	}
+	return running, nil
+}
+
+// Perplexity evaluates teacher-forced perplexity of the model (with
+// optional MLP hook) over the token stream, chunked into windows of
+// winLen tokens. Predictions use each window's tokens 1..n; the first
+// token of each window is context only.
+func Perplexity(m *Model, tokens []int, winLen int, hook MLPHook) float64 {
+	if winLen >= m.Cfg.MaxSeq {
+		winLen = m.Cfg.MaxSeq
+	}
+	var totalCE float64
+	var count int
+	for start := 0; start+winLen <= len(tokens); start += winLen {
+		ids := tokens[start : start+winLen]
+		logits := m.Forward(ids, hook)
+		for t := 0; t+1 < len(ids); t++ {
+			lse := tensor.LogSumExp(logits[t])
+			totalCE += lse - float64(logits[t][ids[t+1]])
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return nn.Perplexity(totalCE / float64(count))
+}
+
+// ContinuationLogProb returns the mean per-token log-probability of the
+// continuation tokens given the prompt tokens, under an optional hook.
+// This is the scoring rule for multiple-choice evaluation.
+func ContinuationLogProb(m *Model, prompt, cont []int, hook MLPHook) float64 {
+	if len(cont) == 0 {
+		return 0
+	}
+	ids := append(append([]int{}, prompt...), cont...)
+	if len(ids) > m.Cfg.MaxSeq {
+		ids = ids[len(ids)-m.Cfg.MaxSeq:]
+	}
+	logits := m.Forward(ids, hook)
+	// Position t predicts ids[t+1]; continuation tokens occupy the tail.
+	first := len(ids) - len(cont)
+	var lp float64
+	for t := first - 1; t+1 < len(ids); t++ {
+		lse := tensor.LogSumExp(logits[t])
+		lp += float64(logits[t][ids[t+1]]) - lse
+	}
+	return lp / float64(len(cont))
+}
+
+// Generate samples n tokens autoregressively after consuming the prompt,
+// using temperature sampling (temp ≤ 0 means greedy argmax). The hook
+// applies to both prompt ingestion and generation, so cache-aware schemes
+// warm their caches on the prompt exactly as a device would.
+func Generate(m *Model, prompt []int, n int, temp float64, seed uint64, hook MLPHook) []int {
+	dec := m.NewDecoder(hook)
+	rng := tensor.NewRNG(seed)
+	var logits tensor.Vec
+	for _, id := range prompt {
+		logits = dec.Step(id)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n && dec.Pos() < m.Cfg.MaxSeq; i++ {
+		next := sample(logits, temp, rng)
+		out = append(out, next)
+		if dec.Pos() >= m.Cfg.MaxSeq {
+			break
+		}
+		logits = dec.Step(next)
+	}
+	return out
+}
+
+func sample(logits tensor.Vec, temp float64, rng *tensor.RNG) int {
+	if temp <= 0 {
+		best, bestV := 0, logits[0]
+		for i, v := range logits {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	scaled := logits.Clone()
+	scaled.Scale(float32(1 / temp))
+	p := tensor.Softmax(scaled, scaled)
+	r := rng.Float32()
+	var cum float32
+	for i, pi := range p {
+		cum += pi
+		if r < cum {
+			return i
+		}
+	}
+	return len(p) - 1
+}

@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Attention is causal multi-head self-attention with grouped-query heads:
+// NHeads query heads share NKV key/value heads (NHeads % NKV == 0), the GQA
+// scheme that makes MLPs dominate the parameter budget in modern LLMs
+// (Section 3 of the paper).
+type Attention struct {
+	Wq, Wk, Wv, Wo *Linear
+	Dim            int
+	NHeads, NKV    int
+	HeadDim        int
+	scale          float32
+}
+
+// NewAttention allocates the four projections. dim must be divisible by
+// nHeads, and nHeads by nKV.
+func NewAttention(name string, dim, nHeads, nKV int, rng *tensor.RNG) *Attention {
+	if dim%nHeads != 0 {
+		panic("nn: dim must be divisible by nHeads")
+	}
+	if nHeads%nKV != 0 {
+		panic("nn: nHeads must be divisible by nKV")
+	}
+	hd := dim / nHeads
+	return &Attention{
+		Wq:      NewLinear(name+".wq", nHeads*hd, dim, rng),
+		Wk:      NewLinear(name+".wk", nKV*hd, dim, rng),
+		Wv:      NewLinear(name+".wv", nKV*hd, dim, rng),
+		Wo:      NewLinear(name+".wo", dim, nHeads*hd, rng),
+		Dim:     dim,
+		NHeads:  nHeads,
+		NKV:     nKV,
+		HeadDim: hd,
+		scale:   float32(1 / math.Sqrt(float64(hd))),
+	}
+}
+
+// Params implements Module.
+func (a *Attention) Params() []*Param {
+	return []*Param{a.Wq.P, a.Wk.P, a.Wv.P, a.Wo.P}
+}
+
+// WeightCount returns the number of scalar weights in the projections.
+func (a *Attention) WeightCount() int {
+	return CountParams(a)
+}
+
+// attnCtx retains the intermediates Backward needs.
+type attnCtx struct {
+	xs         []tensor.Vec   // inputs
+	qs, ks, vs []tensor.Vec   // projected sequences
+	probs      [][]tensor.Vec // probs[t][h] over s ≤ t
+	cat        []tensor.Vec   // concatenated head contexts per t
+}
+
+// Forward runs causal attention over the sequence.
+func (a *Attention) Forward(xs []tensor.Vec) (ys []tensor.Vec, ctx *attnCtx) {
+	T := len(xs)
+	c := &attnCtx{xs: xs}
+	c.qs = make([]tensor.Vec, T)
+	c.ks = make([]tensor.Vec, T)
+	c.vs = make([]tensor.Vec, T)
+	for t, x := range xs {
+		c.qs[t] = tensor.MatVec(a.Wq.P.W, x, nil)
+		c.ks[t] = tensor.MatVec(a.Wk.P.W, x, nil)
+		c.vs[t] = tensor.MatVec(a.Wv.P.W, x, nil)
+	}
+	group := a.NHeads / a.NKV
+	hd := a.HeadDim
+	c.probs = make([][]tensor.Vec, T)
+	c.cat = make([]tensor.Vec, T)
+	ys = make([]tensor.Vec, T)
+	for t := 0; t < T; t++ {
+		c.probs[t] = make([]tensor.Vec, a.NHeads)
+		cat := tensor.NewVec(a.NHeads * hd)
+		for h := 0; h < a.NHeads; h++ {
+			g := h / group
+			q := c.qs[t][h*hd : (h+1)*hd]
+			scores := tensor.NewVec(t + 1)
+			for s := 0; s <= t; s++ {
+				k := c.ks[s][g*hd : (g+1)*hd]
+				var dot float32
+				for i := 0; i < hd; i++ {
+					dot += q[i] * k[i]
+				}
+				scores[s] = dot * a.scale
+			}
+			p := tensor.Softmax(scores, scores)
+			c.probs[t][h] = p
+			out := cat[h*hd : (h+1)*hd]
+			for s := 0; s <= t; s++ {
+				v := c.vs[s][g*hd : (g+1)*hd]
+				ps := p[s]
+				for i := 0; i < hd; i++ {
+					out[i] += ps * v[i]
+				}
+			}
+		}
+		c.cat[t] = cat
+		ys[t] = tensor.MatVec(a.Wo.P.W, cat, nil)
+	}
+	return ys, c
+}
+
+// Backward propagates gradients through the attention computed by Forward.
+func (a *Attention) Backward(dys []tensor.Vec, c *attnCtx) []tensor.Vec {
+	T := len(dys)
+	group := a.NHeads / a.NKV
+	hd := a.HeadDim
+	dqs := make([]tensor.Vec, T)
+	dks := make([]tensor.Vec, T)
+	dvs := make([]tensor.Vec, T)
+	for t := 0; t < T; t++ {
+		dqs[t] = tensor.NewVec(a.NHeads * hd)
+		dks[t] = tensor.NewVec(a.NKV * hd)
+		dvs[t] = tensor.NewVec(a.NKV * hd)
+	}
+	for t := 0; t < T; t++ {
+		dy := dys[t]
+		tensor.AddOuter(a.Wo.P.G, 1, dy, c.cat[t])
+		dcat := tensor.MatTVec(a.Wo.P.W, dy, nil)
+		for h := 0; h < a.NHeads; h++ {
+			g := h / group
+			dctx := dcat[h*hd : (h+1)*hd]
+			p := c.probs[t][h]
+			// dp and the softmax Jacobian.
+			dp := tensor.NewVec(t + 1)
+			var pdot float32
+			for s := 0; s <= t; s++ {
+				v := c.vs[s][g*hd : (g+1)*hd]
+				var d float32
+				for i := 0; i < hd; i++ {
+					d += dctx[i] * v[i]
+				}
+				dp[s] = d
+				pdot += p[s] * d
+				// dv accumulation
+				dv := dvs[s][g*hd : (g+1)*hd]
+				ps := p[s]
+				for i := 0; i < hd; i++ {
+					dv[i] += ps * dctx[i]
+				}
+			}
+			q := c.qs[t][h*hd : (h+1)*hd]
+			dq := dqs[t][h*hd : (h+1)*hd]
+			for s := 0; s <= t; s++ {
+				ds := p[s] * (dp[s] - pdot) * a.scale
+				if ds == 0 {
+					continue
+				}
+				k := c.ks[s][g*hd : (g+1)*hd]
+				dk := dks[s][g*hd : (g+1)*hd]
+				for i := 0; i < hd; i++ {
+					dq[i] += ds * k[i]
+					dk[i] += ds * q[i]
+				}
+			}
+		}
+	}
+	dxs := make([]tensor.Vec, T)
+	for t := 0; t < T; t++ {
+		tensor.AddOuter(a.Wq.P.G, 1, dqs[t], c.xs[t])
+		tensor.AddOuter(a.Wk.P.G, 1, dks[t], c.xs[t])
+		tensor.AddOuter(a.Wv.P.G, 1, dvs[t], c.xs[t])
+		dx := tensor.MatTVec(a.Wq.P.W, dqs[t], nil)
+		tensor.MatTVec(a.Wk.P.W, dks[t], dx)
+		tensor.MatTVec(a.Wv.P.W, dvs[t], dx)
+		dxs[t] = dx
+	}
+	return dxs
+}
+
+// KVCache holds the per-layer key/value history for incremental decoding.
+type KVCache struct {
+	Ks, Vs []tensor.Vec
+}
+
+// Step runs attention for one new position given the cache, appends the new
+// key/value, and returns the attention output. It matches Forward exactly
+// (verified in tests), so perplexity measured incrementally equals the
+// teacher-forced value.
+func (a *Attention) Step(x tensor.Vec, cache *KVCache) tensor.Vec {
+	q := tensor.MatVec(a.Wq.P.W, x, nil)
+	k := tensor.MatVec(a.Wk.P.W, x, nil)
+	v := tensor.MatVec(a.Wv.P.W, x, nil)
+	cache.Ks = append(cache.Ks, k)
+	cache.Vs = append(cache.Vs, v)
+	T := len(cache.Ks)
+	group := a.NHeads / a.NKV
+	hd := a.HeadDim
+	cat := tensor.NewVec(a.NHeads * hd)
+	for h := 0; h < a.NHeads; h++ {
+		g := h / group
+		qh := q[h*hd : (h+1)*hd]
+		scores := tensor.NewVec(T)
+		for s := 0; s < T; s++ {
+			ks := cache.Ks[s][g*hd : (g+1)*hd]
+			var dot float32
+			for i := 0; i < hd; i++ {
+				dot += qh[i] * ks[i]
+			}
+			scores[s] = dot * a.scale
+		}
+		p := tensor.Softmax(scores, scores)
+		out := cat[h*hd : (h+1)*hd]
+		for s := 0; s < T; s++ {
+			vs := cache.Vs[s][g*hd : (g+1)*hd]
+			ps := p[s]
+			for i := 0; i < hd; i++ {
+				out[i] += ps * vs[i]
+			}
+		}
+	}
+	return tensor.MatVec(a.Wo.P.W, cat, nil)
+}

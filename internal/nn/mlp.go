@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation selects the MLP non-linearity σ in GLU(x) = W_u x ⊙ σ(W_g x).
+type Activation int
+
+const (
+	// ActSiLU is the SwiGLU configuration used by modern LLMs.
+	ActSiLU Activation = iota
+	// ActReLU is the "ReLU-fied" configuration (TurboSparse-style) that
+	// exhibits natural activation sparsity.
+	ActReLU
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	if a == ActReLU {
+		return "relu"
+	}
+	return "silu"
+}
+
+// Apply evaluates the activation.
+func (a Activation) Apply(x float32) float32 {
+	if a == ActReLU {
+		return tensor.ReLU(x)
+	}
+	return tensor.SiLU(x)
+}
+
+// Grad evaluates the activation derivative.
+func (a Activation) Grad(x float32) float32 {
+	if a == ActReLU {
+		return tensor.ReLUGrad(x)
+	}
+	return tensor.SiLUGrad(x)
+}
+
+// GLUMLP is the gated MLP block MLP(x) = W_d (W_u x ⊙ σ(W_g x)) of Eq. 1–2.
+// The three matrices are exposed because every sparsity scheme in the paper
+// is defined directly on their rows/columns.
+type GLUMLP struct {
+	Up, Gate *Linear // dff × dim
+	Down     *Linear // dim × dff
+	Act      Activation
+	Dim, DFF int
+}
+
+// NewGLUMLP allocates the block with fan-in initialization.
+func NewGLUMLP(name string, dim, dff int, act Activation, rng *tensor.RNG) *GLUMLP {
+	return &GLUMLP{
+		Up:   NewLinear(name+".up", dff, dim, rng),
+		Gate: NewLinear(name+".gate", dff, dim, rng),
+		Down: NewLinear(name+".down", dim, dff, rng),
+		Act:  act,
+		Dim:  dim,
+		DFF:  dff,
+	}
+}
+
+// Params implements Module.
+func (m *GLUMLP) Params() []*Param {
+	return []*Param{m.Up.P, m.Gate.P, m.Down.P}
+}
+
+// GLU computes the intermediate activations W_u x ⊙ σ(W_g x) for a single
+// vector into out (allocated when nil). Used by calibration and the
+// sparsity oracles.
+func (m *GLUMLP) GLU(x, out tensor.Vec) tensor.Vec {
+	u := tensor.MatVec(m.Up.P.W, x, nil)
+	g := tensor.MatVec(m.Gate.P.W, x, nil)
+	if out == nil {
+		out = tensor.NewVec(m.DFF)
+	}
+	for i := range out {
+		out[i] = u[i] * m.Act.Apply(g[i])
+	}
+	return out
+}
+
+// Apply computes the dense MLP output for a single vector.
+func (m *GLUMLP) Apply(x tensor.Vec) tensor.Vec {
+	h := m.GLU(x, nil)
+	return tensor.MatVec(m.Down.P.W, h, nil)
+}
+
+// mlpCtx retains per-position intermediates for Backward.
+type mlpCtx struct {
+	x, u, g, h tensor.Vec
+}
+
+// Forward evaluates the block over a sequence.
+func (m *GLUMLP) Forward(xs []tensor.Vec) (ys []tensor.Vec, ctx []mlpCtx) {
+	ys = make([]tensor.Vec, len(xs))
+	ctx = make([]mlpCtx, len(xs))
+	for t, x := range xs {
+		u := tensor.MatVec(m.Up.P.W, x, nil)
+		g := tensor.MatVec(m.Gate.P.W, x, nil)
+		h := tensor.NewVec(m.DFF)
+		for i := range h {
+			h[i] = u[i] * m.Act.Apply(g[i])
+		}
+		ys[t] = tensor.MatVec(m.Down.P.W, h, nil)
+		ctx[t] = mlpCtx{x: x, u: u, g: g, h: h}
+	}
+	return ys, ctx
+}
+
+// Backward accumulates weight gradients and returns input gradients.
+func (m *GLUMLP) Backward(dys []tensor.Vec, ctx []mlpCtx) []tensor.Vec {
+	dxs := make([]tensor.Vec, len(dys))
+	for t, dy := range dys {
+		c := ctx[t]
+		// Down projection.
+		tensor.AddOuter(m.Down.P.G, 1, dy, c.h)
+		dh := tensor.MatTVec(m.Down.P.W, dy, nil)
+		// Gate product.
+		du := tensor.NewVec(m.DFF)
+		dg := tensor.NewVec(m.DFF)
+		for i := range dh {
+			act := m.Act.Apply(c.g[i])
+			du[i] = dh[i] * act
+			dg[i] = dh[i] * c.u[i] * m.Act.Grad(c.g[i])
+		}
+		tensor.AddOuter(m.Up.P.G, 1, du, c.x)
+		tensor.AddOuter(m.Gate.P.G, 1, dg, c.x)
+		dx := tensor.MatTVec(m.Up.P.W, du, nil)
+		tensor.MatTVec(m.Gate.P.W, dg, dx)
+		dxs[t] = dx
+	}
+	return dxs
+}
+
+// WeightCount returns the number of scalar weights across the three
+// matrices — the denominator of every MLP-density figure.
+func (m *GLUMLP) WeightCount() int { return 3 * m.Dim * m.DFF }
+
+// CrossEntropy computes mean token cross-entropy of logits against targets
+// and, when dlogits is non-nil, writes ∂loss/∂logits (softmax − onehot,
+// scaled by 1/T) into it.
+func CrossEntropy(logits []tensor.Vec, targets []int, dlogits []tensor.Vec) float64 {
+	if len(logits) != len(targets) {
+		panic("nn: CrossEntropy length mismatch")
+	}
+	var total float64
+	scale := float32(1 / float64(len(logits)))
+	for t, lg := range logits {
+		lse := tensor.LogSumExp(lg)
+		total += lse - float64(lg[targets[t]])
+		if dlogits != nil {
+			p := tensor.Softmax(lg, dlogits[t])
+			p[targets[t]] -= 1
+			p.Scale(scale)
+		}
+	}
+	return total / float64(len(logits))
+}
+
+// KLDivergence computes mean KL(teacher ‖ student) over positions from
+// teacher and student logits and optionally writes the student-logit
+// gradient (p_student − p_teacher, scaled by 1/T). This is the knowledge
+// distillation loss used for LoRA fine-tuning.
+func KLDivergence(teacher, student []tensor.Vec, dstudent []tensor.Vec) float64 {
+	if len(teacher) != len(student) {
+		panic("nn: KLDivergence length mismatch")
+	}
+	var total float64
+	scale := float32(1 / float64(len(student)))
+	for t := range student {
+		pt := tensor.Softmax(teacher[t], nil)
+		lseS := tensor.LogSumExp(student[t])
+		lseT := tensor.LogSumExp(teacher[t])
+		var kl float64
+		for i, p := range pt {
+			if p > 0 {
+				logPT := float64(teacher[t][i]) - lseT
+				logPS := float64(student[t][i]) - lseS
+				kl += float64(p) * (logPT - logPS)
+			}
+		}
+		total += kl
+		if dstudent != nil {
+			ps := tensor.Softmax(student[t], dstudent[t])
+			for i := range ps {
+				ps[i] = (ps[i] - pt[i]) * scale
+			}
+		}
+	}
+	return total / float64(len(student))
+}
+
+// Perplexity converts a mean cross-entropy (nats/token) to perplexity.
+func Perplexity(meanCE float64) float64 { return math.Exp(meanCE) }

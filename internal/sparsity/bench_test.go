@@ -1,0 +1,52 @@
+package sparsity
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Per-token scheme costs at the paper-scale analog dimensions (dim 64,
+// dff 192): these bound how much CPU the mask computation itself adds on
+// top of the masked matvecs.
+
+func benchScheme(b *testing.B, s Scheme) {
+	mlp := nn.NewGLUMLP("m", 64, 192, nn.ActSiLU, tensor.NewRNG(1))
+	rng := tensor.NewRNG(2)
+	x := tensor.NewVec(64)
+	for i := range x {
+		x[i] = rng.NormFloat32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Forward(0, x, mlp, nil)
+	}
+}
+
+func BenchmarkSchemeDense(b *testing.B)  { benchScheme(b, Dense{}) }
+func BenchmarkSchemeDIP50(b *testing.B)  { benchScheme(b, NewDIP(0.5)) }
+func BenchmarkSchemeGate50(b *testing.B) { benchScheme(b, &GatePrune{Rho: 0.25}) }
+func BenchmarkSchemeUp50(b *testing.B)   { benchScheme(b, &UpPrune{Rho: 0.25}) }
+func BenchmarkSchemeGLU(b *testing.B)    { benchScheme(b, &GLUPrune{RhoGLU: 0.5}) }
+
+func BenchmarkSchemeDIPCA50(b *testing.B) {
+	mlp := nn.NewGLUMLP("m", 64, 192, nn.ActSiLU, tensor.NewRNG(1))
+	rng := tensor.NewRNG(2)
+	x := tensor.NewVec(64)
+	for i := range x {
+		x[i] = rng.NormFloat32()
+	}
+	fc := &fakeCache{cached: map[[3]int]bool{}}
+	for i := 0; i < 32; i++ {
+		fc.cached[[3]int{0, int(GroupUpGate), i}] = true
+		fc.cached[[3]int{0, int(GroupDown), i * 3}] = true
+	}
+	s := NewDIPCA(0.5, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Forward(0, x, mlp, fc)
+	}
+}

@@ -1,0 +1,176 @@
+package sparsity
+
+import (
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ThresholdMode selects the GLU thresholding strategy compared in Figure 4.
+type ThresholdMode int
+
+const (
+	// ThresholdGlobal applies one fixed threshold to every layer.
+	ThresholdGlobal ThresholdMode = iota
+	// ThresholdPerLayer applies a calibrated per-layer threshold.
+	ThresholdPerLayer
+	// ThresholdPerToken keeps the top-K per token (equivalent to GLUPrune).
+	ThresholdPerToken
+)
+
+// String names the mode.
+func (m ThresholdMode) String() string {
+	switch m {
+	case ThresholdGlobal:
+		return "global"
+	case ThresholdPerLayer:
+		return "per-layer"
+	case ThresholdPerToken:
+		return "per-token"
+	default:
+		return "invalid"
+	}
+}
+
+// GLUThreshold is GLU pruning with magnitude thresholds instead of top-K,
+// used for the Figure 4 comparison. Per-token mode reduces to GLUPrune.
+type GLUThreshold struct {
+	Mode ThresholdMode
+	// Global is the single threshold for ThresholdGlobal mode.
+	Global float32
+	// PerLayer holds a threshold per layer for ThresholdPerLayer mode.
+	PerLayer []float32
+	// Rho is the per-token keep fraction for ThresholdPerToken mode.
+	Rho float64
+	// LastDensity records the GLU keep fraction of the most recent call per
+	// layer, letting Figure 4 report per-layer achieved densities.
+	LastDensity []float64
+}
+
+// Name implements Scheme.
+func (s *GLUThreshold) Name() string { return "glu-threshold-" + s.Mode.String() }
+
+// Forward implements Scheme.
+func (s *GLUThreshold) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	h := mlp.GLU(x, nil)
+	var idx []int
+	switch s.Mode {
+	case ThresholdPerToken:
+		idx = tensor.TopKIndices(absScores(h, nil), keepCount(s.Rho, mlp.DFF))
+	default:
+		thr := s.Global
+		if s.Mode == ThresholdPerLayer {
+			thr = s.PerLayer[layer]
+		}
+		for i, v := range h {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a >= thr {
+				idx = append(idx, i)
+			}
+		}
+	}
+	if len(s.LastDensity) > layer {
+		s.LastDensity[layer] = float64(len(idx)) / float64(mlp.DFF)
+	}
+	y := tensor.MatVecSparse(mlp.Down.P.W, h, idx, nil)
+	var ta TokenAccess
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}
+
+// LayerStats collects per-layer activation magnitudes from a calibration
+// run: the absolute GLU activations, the absolute gate activations
+// σ(W_g x), and the absolute MLP inputs.
+type LayerStats struct {
+	AbsGLU  [][]float32 // [layer][sample]
+	AbsGate [][]float32
+	AbsIn   [][]float32
+}
+
+// CollectStats runs the dense model over the calibration tokens (windowed)
+// and gathers the activation statistics every scheme calibration needs.
+// maxTokens bounds the number of MLP evaluations recorded per layer.
+func CollectStats(m *model.Model, tokens []int, win, maxTokens int) *LayerStats {
+	L := len(m.Blocks)
+	st := &LayerStats{
+		AbsGLU:  make([][]float32, L),
+		AbsGate: make([][]float32, L),
+		AbsIn:   make([][]float32, L),
+	}
+	count := 0
+	hook := func(layer int, x tensor.Vec) tensor.Vec {
+		mlp := m.Blocks[layer].MLP
+		if layer == 0 {
+			count++
+		}
+		if count <= maxTokens {
+			u := tensor.MatVec(mlp.Up.P.W, x, nil)
+			g := tensor.MatVec(mlp.Gate.P.W, x, nil)
+			for i := range u {
+				ga := mlp.Act.Apply(g[i])
+				h := u[i] * ga
+				if h < 0 {
+					h = -h
+				}
+				if ga < 0 {
+					ga = -ga
+				}
+				st.AbsGLU[layer] = append(st.AbsGLU[layer], h)
+				st.AbsGate[layer] = append(st.AbsGate[layer], ga)
+			}
+			for _, v := range x {
+				if v < 0 {
+					v = -v
+				}
+				st.AbsIn[layer] = append(st.AbsIn[layer], v)
+			}
+		}
+		return mlp.Apply(x)
+	}
+	for start := 0; start+win <= len(tokens) && count < maxTokens; start += win {
+		m.Forward(tokens[start:start+win], hook)
+	}
+	return st
+}
+
+// GlobalThreshold returns the single threshold achieving the target mean
+// GLU keep density across all layers.
+func (st *LayerStats) GlobalThreshold(rho float64) float32 {
+	var all []float32
+	for _, layer := range st.AbsGLU {
+		all = append(all, layer...)
+	}
+	return tensor.Quantile(all, 1-rho)
+}
+
+// PerLayerThresholds returns per-layer thresholds each achieving the
+// target GLU keep density on the calibration distribution.
+func (st *LayerStats) PerLayerThresholds(rho float64) []float32 {
+	out := make([]float32, len(st.AbsGLU))
+	for l, vals := range st.AbsGLU {
+		out[l] = tensor.Quantile(vals, 1-rho)
+	}
+	return out
+}
+
+// CATSThresholds returns per-layer thresholds on |σ(W_g x)| achieving the
+// target keep density, the CATS calibration.
+func (st *LayerStats) CATSThresholds(rho float64) []float32 {
+	out := make([]float32, len(st.AbsGate))
+	for l, vals := range st.AbsGate {
+		out[l] = tensor.Quantile(vals, 1-rho)
+	}
+	return out
+}
+
+// NewCATS calibrates a CATS scheme at the given intermediate keep fraction
+// using calibration tokens.
+func NewCATS(m *model.Model, tokens []int, win int, rho float64) *CATS {
+	st := CollectStats(m, tokens, win, 512)
+	return &CATS{Thresholds: st.CATSThresholds(rho)}
+}

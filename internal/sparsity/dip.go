@@ -1,0 +1,165 @@
+package sparsity
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DIP is Dynamic Input Pruning (Section 4, Eq. 7–8), optionally with the
+// cache-aware re-weighting of Section 5 (Eq. 10 / Algorithm 1):
+//
+//  1. keep the top-K_in input coordinates by |x| (re-weighted by cache
+//     state when Gamma < 1 and a CacheView is present), pruning the
+//     corresponding columns of W_u and W_g;
+//  2. compute the approximate GLU activations with the pruned matrices;
+//  3. keep the top-K_glu intermediate units by |GLU~(x)| (again optionally
+//     re-weighted), pruning the corresponding columns of W_d.
+//
+// No predictor is involved: the mask is derived from activations the
+// decoder computes anyway.
+type DIP struct {
+	// RhoIn is the fraction of input coordinates kept (W_u/W_g columns).
+	RhoIn float64
+	// RhoGLU is the fraction of intermediate units kept (W_d columns).
+	RhoGLU float64
+	// Gamma is the cache-aware penalty on non-cached units (Eq. 10).
+	// Gamma == 1 disables re-weighting (plain DIP); the paper tunes 0.2.
+	Gamma float64
+	// CacheAware names the scheme "dip-ca" and enables re-weighting.
+	CacheAware bool
+
+	// scratch buffers reused across calls (schemes are used sequentially).
+	scoreIn, scoreGLU, u, g, h tensor.Vec
+}
+
+// NewDIP returns plain DIP with the density allocation for the target MLP
+// density (Appendix B.1).
+func NewDIP(targetDensity float64) *DIP {
+	rin, rglu := AllocateDIP(targetDensity)
+	return &DIP{RhoIn: rin, RhoGLU: rglu, Gamma: 1}
+}
+
+// NewDIPCA returns cache-aware DIP with penalty gamma (the paper fixes 0.2).
+func NewDIPCA(targetDensity, gamma float64) *DIP {
+	rin, rglu := AllocateDIP(targetDensity)
+	return &DIP{RhoIn: rin, RhoGLU: rglu, Gamma: gamma, CacheAware: true}
+}
+
+// Name implements Scheme.
+func (s *DIP) Name() string {
+	if s.CacheAware {
+		return "dip-ca"
+	}
+	return "dip"
+}
+
+// TargetDensity returns the MLP density implied by the allocation.
+func (s *DIP) TargetDensity() float64 { return (2*s.RhoIn + s.RhoGLU) / 3 }
+
+// IsCacheAware reports whether the scheme's masks depend on cache state
+// (used by the evaluation harness to reject invalid Belady replays).
+func (s *DIP) IsCacheAware() bool { return s.CacheAware && s.Gamma < 1 }
+
+// reweight applies Eq. 10 in place: s_i = |x_i|·(c_i + γ(1−c_i)) / ‖x‖∞.
+// The ‖x‖∞ normalization keeps γ comparable across tokens with different
+// dynamic ranges; it does not change the ranking for a fixed token but is
+// retained for fidelity with the paper (and because Figure 10's γ sweep
+// reports the normalized scores).
+func (s *DIP) reweight(scores tensor.Vec, layer int, group GroupID, cache CacheView) {
+	if !s.CacheAware || s.Gamma >= 1 || cache == nil {
+		return
+	}
+	norm := scores.MaxAbs()
+	if norm == 0 {
+		norm = 1
+	}
+	inv := 1 / norm
+	gamma := float32(s.Gamma)
+	for i := range scores {
+		w := gamma
+		if cache.Cached(layer, group, i) {
+			w = 1
+		}
+		scores[i] *= w * inv
+	}
+}
+
+// Forward implements Scheme.
+func (s *DIP) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, cache CacheView) (tensor.Vec, TokenAccess) {
+	dim, dff := mlp.Dim, mlp.DFF
+	// Stage 1: input pruning.
+	s.scoreIn = absScores(x, resize(s.scoreIn, dim))
+	s.reweight(s.scoreIn, layer, GroupUpGate, cache)
+	kIn := keepCount(s.RhoIn, dim)
+	inIdx := tensor.TopKIndices(s.scoreIn, kIn)
+	// Stage 2: approximate GLU with pruned input columns.
+	s.u = resize(s.u, dff)
+	s.g = resize(s.g, dff)
+	tensor.MatVecSparse(mlp.Up.P.W, x, inIdx, s.u)
+	tensor.MatVecSparse(mlp.Gate.P.W, x, inIdx, s.g)
+	s.h = resize(s.h, dff)
+	for i := range s.h {
+		s.h[i] = s.u[i] * mlp.Act.Apply(s.g[i])
+	}
+	// Stage 3: GLU pruning on the approximate activations.
+	s.scoreGLU = absScores(s.h, resize(s.scoreGLU, dff))
+	s.reweight(s.scoreGLU, layer, GroupDown, cache)
+	kGLU := keepCount(s.RhoGLU, dff)
+	gluIdx := tensor.TopKIndices(s.scoreGLU, kGLU)
+	y := tensor.MatVecSparse(mlp.Down.P.W, s.h, gluIdx, nil)
+	var ta TokenAccess
+	ta.Groups[GroupUpGate] = GroupAccess{Kind: AccessSparse, Units: inIdx}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: gluIdx}
+	return y, ta
+}
+
+func resize(v tensor.Vec, n int) tensor.Vec {
+	if len(v) != n {
+		return tensor.NewVec(n)
+	}
+	return v
+}
+
+// AllocateDIP maps a target MLP density ρ to the per-group keep fractions
+// (ρ_in for the W_u/W_g columns, ρ_glu for the W_d columns) subject to
+// (2·ρ_in + ρ_glu)/3 = ρ. Following Appendix B.1, the rule is a linear
+// model in logit space, logit(ρ_in) = a + b·logit(ρ), with (a, b) fitted
+// on the Pareto front of a (ρ_in, ρ_glu) grid search over WikiText-style
+// perplexity (the fig12 experiment regenerates that calibration). On the
+// trained analogs the front allocates the *input* side more density than
+// the down projection — pruning residual-stream coordinates is the more
+// damaging of DIP's two approximations.
+func AllocateDIP(target float64) (rhoIn, rhoGLU float64) {
+	const (
+		fitA = 0.62
+		fitB = 1.53
+	)
+	if target <= 0 {
+		return 0.02, 0.02
+	}
+	if target >= 1 {
+		return 1, 1
+	}
+	rhoIn = tensor.Expit(fitA + fitB*tensor.Logit(target))
+	rhoGLU = 3*target - 2*rhoIn
+	// Enforce the density constraint within (0.02, 1] on both fractions.
+	if rhoGLU < 0.02 {
+		rhoIn -= (0.02 - rhoGLU) / 2
+		rhoGLU = 0.02
+	}
+	if rhoGLU > 1 {
+		rhoIn += (rhoGLU - 1) / 2
+		rhoGLU = 1
+	}
+	if rhoIn > 1 {
+		rhoGLU += 2 * (rhoIn - 1)
+		rhoIn = 1
+	}
+	if rhoIn < 0.02 {
+		rhoIn = 0.02
+	}
+	if rhoGLU > 1 {
+		rhoGLU = 1
+	}
+	return rhoIn, rhoGLU
+}

@@ -1,0 +1,236 @@
+package sparsity
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// GLUPrune is "GLU pruning" (Figure 5a / Eq. 4): compute the GLU
+// activations densely, then keep only the top-K magnitude activations when
+// applying W_d. Only one of the three matrices sparsifies, so MLP density
+// is bounded below by 2/3.
+type GLUPrune struct {
+	// RhoGLU is the fraction of GLU activations kept.
+	RhoGLU float64
+}
+
+// Name implements Scheme.
+func (s *GLUPrune) Name() string { return "glu" }
+
+// Forward implements Scheme.
+func (s *GLUPrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	h := mlp.GLU(x, nil)
+	k := keepCount(s.RhoGLU, mlp.DFF)
+	idx := tensor.TopKIndices(absScores(h, nil), k)
+	y := tensor.MatVecSparse(mlp.Down.P.W, h, idx, nil)
+	var ta TokenAccess
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}
+
+// GLUOracle is "GLU pruning (oracle)": identical output to GLUPrune, but
+// the access record pretends a perfect predictor identified the top-K GLU
+// activations in advance, so all three matrices sparsify to the same unit
+// set. It upper-bounds what any predictive scheme could achieve (Table 1).
+type GLUOracle struct {
+	// Rho is the fraction of GLU units kept (equals the MLP density).
+	Rho float64
+}
+
+// Name implements Scheme.
+func (s *GLUOracle) Name() string { return "glu-oracle" }
+
+// Forward implements Scheme.
+func (s *GLUOracle) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	h := mlp.GLU(x, nil)
+	k := keepCount(s.Rho, mlp.DFF)
+	idx := tensor.TopKIndices(absScores(h, nil), k)
+	y := tensor.MatVecSparse(mlp.Down.P.W, h, idx, nil)
+	var ta TokenAccess
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}
+
+// GatePrune is "Gate pruning" (Figure 5b / Eq. 5): evaluate σ(W_g x)
+// densely, keep the top-K partial activations, and restrict W_u rows and
+// W_d columns to that set.
+type GatePrune struct {
+	// Rho is the fraction of intermediate units kept.
+	Rho float64
+}
+
+// Name implements Scheme.
+func (s *GatePrune) Name() string { return "gate" }
+
+// Forward implements Scheme.
+func (s *GatePrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	g := tensor.MatVec(mlp.Gate.P.W, x, nil)
+	scores := tensor.NewVec(mlp.DFF)
+	for i, v := range g {
+		a := mlp.Act.Apply(v)
+		if a < 0 {
+			a = -a
+		}
+		scores[i] = a
+	}
+	k := keepCount(s.Rho, mlp.DFF)
+	idx := tensor.TopKIndices(scores, k)
+	y := sparseRowsOutput(mlp, x, g, idx)
+	var ta TokenAccess
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}
+
+// sparseRowsOutput computes Σ_{i∈idx} W_d[:,i] · (W_u[i,:]·x) · σ(g_i)
+// given precomputed gate pre-activations g.
+func sparseRowsOutput(mlp *nn.GLUMLP, x, g tensor.Vec, idx []int) tensor.Vec {
+	y := tensor.NewVec(mlp.Dim)
+	wd := mlp.Down.P.W
+	for _, i := range idx {
+		u := tensor.Vec(mlp.Up.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)
+		hi := u * mlp.Act.Apply(g[i])
+		if hi == 0 {
+			continue
+		}
+		for r := 0; r < mlp.Dim; r++ {
+			y[r] += wd.Data[r*mlp.DFF+i] * hi
+		}
+	}
+	return y
+}
+
+// UpPrune is "Up pruning": the mirror of GatePrune — evaluate W_u x
+// densely, keep the top-K |u_i|, and restrict W_g rows and W_d columns.
+type UpPrune struct {
+	// Rho is the fraction of intermediate units kept.
+	Rho float64
+}
+
+// Name implements Scheme.
+func (s *UpPrune) Name() string { return "up" }
+
+// Forward implements Scheme.
+func (s *UpPrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	u := tensor.MatVec(mlp.Up.P.W, x, nil)
+	k := keepCount(s.Rho, mlp.DFF)
+	idx := tensor.TopKIndices(absScores(u, nil), k)
+	y := tensor.NewVec(mlp.Dim)
+	wd := mlp.Down.P.W
+	for _, i := range idx {
+		gi := tensor.Vec(mlp.Gate.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)
+		hi := u[i] * mlp.Act.Apply(gi)
+		if hi == 0 {
+			continue
+		}
+		for r := 0; r < mlp.Dim; r++ {
+			y[r] += wd.Data[r*mlp.DFF+i] * hi
+		}
+	}
+	var ta TokenAccess
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}
+
+// CATS is contextually-aware thresholding (Lee et al., 2024): like
+// GatePrune but with a fixed per-layer threshold on |σ(W_g x)| calibrated
+// offline, so the kept count varies per token.
+type CATS struct {
+	// Thresholds holds one calibrated threshold per layer.
+	Thresholds []float32
+}
+
+// Name implements Scheme.
+func (s *CATS) Name() string { return "cats" }
+
+// Forward implements Scheme.
+func (s *CATS) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	if layer >= len(s.Thresholds) {
+		panic(fmt.Sprintf("sparsity: CATS has %d thresholds, layer %d requested", len(s.Thresholds), layer))
+	}
+	thr := s.Thresholds[layer]
+	g := tensor.MatVec(mlp.Gate.P.W, x, nil)
+	idx := make([]int, 0, mlp.DFF/2)
+	for i, v := range g {
+		a := mlp.Act.Apply(v)
+		if a < 0 {
+			a = -a
+		}
+		if a >= thr {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 { // keep at least the strongest unit
+		best, bestV := 0, float32(-1)
+		for i, v := range g {
+			a := mlp.Act.Apply(v)
+			if a < 0 {
+				a = -a
+			}
+			if a > bestV {
+				best, bestV = i, a
+			}
+		}
+		idx = append(idx, best)
+	}
+	y := sparseRowsOutput(mlp, x, g, idx)
+	var ta TokenAccess
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}
+
+// ScoreFunc produces predictor logits over the dff intermediate units for
+// an MLP input (DejaVu-style). Supplied by the predictor package.
+type ScoreFunc func(layer int, x tensor.Vec) tensor.Vec
+
+// Predictive is predictive GLU pruning (Figure 5c / Eq. 6): a trained
+// predictor selects the unit set before any MLP weight is read, so all
+// three matrices sparsify — when the predictor is right.
+type Predictive struct {
+	// Rho is the fraction of intermediate units kept.
+	Rho float64
+	// Score returns predictor logits per unit.
+	Score ScoreFunc
+	// ParamsPerLayer is the predictor parameter count per layer, reported
+	// so memory accounting can include predictor overhead.
+	ParamsPerLayer int
+}
+
+// Name implements Scheme.
+func (s *Predictive) Name() string { return "dejavu" }
+
+// Forward implements Scheme.
+func (s *Predictive) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
+	scores := s.Score(layer, x)
+	k := keepCount(s.Rho, mlp.DFF)
+	idx := tensor.TopKIndices(scores, k)
+	y := tensor.NewVec(mlp.Dim)
+	wd := mlp.Down.P.W
+	for _, i := range idx {
+		u := tensor.Vec(mlp.Up.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)
+		g := tensor.Vec(mlp.Gate.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)
+		hi := u * mlp.Act.Apply(g)
+		if hi == 0 {
+			continue
+		}
+		for r := 0; r < mlp.Dim; r++ {
+			y[r] += wd.Data[r*mlp.DFF+i] * hi
+		}
+	}
+	var ta TokenAccess
+	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	return y, ta
+}

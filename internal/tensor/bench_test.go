@@ -1,0 +1,96 @@
+package tensor
+
+import "testing"
+
+// Kernel micro-benchmarks: these are the inner loops of training, sparse
+// inference and the simulator; regressions here slow every experiment.
+
+func benchMat(rows, cols int) (*Mat, Vec) {
+	rng := NewRNG(1)
+	m := NewMat(rows, cols)
+	m.RandNorm(rng, 1)
+	x := NewVec(cols)
+	for i := range x {
+		x[i] = rng.NormFloat32()
+	}
+	return m, x
+}
+
+func BenchmarkMatVec192x64(b *testing.B) {
+	m, x := benchMat(192, 64)
+	out := NewVec(192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(m, x, out)
+	}
+}
+
+func BenchmarkMatVecSparseHalf(b *testing.B) {
+	m, x := benchMat(192, 64)
+	idx := make([]int, 32)
+	for i := range idx {
+		idx[i] = i * 2
+	}
+	out := NewVec(192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVecSparse(m, x, idx, out)
+	}
+}
+
+func BenchmarkMatTVec192x64(b *testing.B) {
+	m, _ := benchMat(192, 64)
+	y := NewVec(192)
+	for i := range y {
+		y[i] = float32(i%5) - 2
+	}
+	out := NewVec(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		MatTVec(m, y, out)
+	}
+}
+
+func BenchmarkTopK64of192(b *testing.B) {
+	rng := NewRNG(2)
+	score := NewVec(192)
+	for i := range score {
+		score[i] = rng.NormFloat32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKIndices(score, 64)
+	}
+}
+
+func BenchmarkSoftmax39(b *testing.B) {
+	rng := NewRNG(3)
+	logits := NewVec(39)
+	for i := range logits {
+		logits[i] = rng.NormFloat32() * 4
+	}
+	out := NewVec(39)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(logits, out)
+	}
+}
+
+func BenchmarkAddOuter(b *testing.B) {
+	m, x := benchMat(192, 64)
+	y := NewVec(192)
+	for i := range y {
+		y[i] = float32(i%3) - 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddOuter(m, 1e-6, y, x)
+	}
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD builds a random symmetric positive definite matrix A Aᵀ + I.
+func randSPD(seed uint64, n int) *SymMat {
+	rng := NewRNG(seed)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.Norm()
+		}
+	}
+	m := NewSymMat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i][k] * a[j][k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			m.Set(i, j, s)
+		}
+	}
+	return m
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 3 + int(seed%6)
+		m := randSPD(seed, n)
+		l, err := m.Cholesky()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if math.Abs(s-m.At(i, j)) > 1e-8*(1+math.Abs(m.At(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewSymMat(2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, -1)
+	if _, err := m.Cholesky(); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%6)
+		m := randSPD(seed, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		// m · inv ≈ I
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += m.At(i, k) * inv.At(k, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholUpperReconstructs(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%6)
+		m := randSPD(seed+99, n)
+		u, err := m.CholUpper()
+		if err != nil {
+			return false
+		}
+		// Uᵀ U == m, and U is upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if u.At(i, j) != 0 {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += u.At(k, i) * u.At(k, j)
+				}
+				if math.Abs(s-m.At(i, j)) > 1e-8*(1+math.Abs(m.At(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymMatHelpers(t *testing.T) {
+	m := NewSymMat(3)
+	m.AddDiag(2)
+	if m.MeanDiag() != 2 {
+		t.Fatalf("MeanDiag = %v", m.MeanDiag())
+	}
+	m.AddOuterF64(1, Vec{1, 2, 3})
+	if m.At(0, 1) != 2 || m.At(2, 2) != 11 {
+		t.Fatalf("AddOuterF64 wrong: %v", m.Data)
+	}
+}

@@ -1,0 +1,244 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+)
+
+// Sigmoid returns 1/(1+e^-x).
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// SiLU returns x·sigmoid(x), the activation used by SwiGLU MLPs.
+func SiLU(x float32) float32 { return x * Sigmoid(x) }
+
+// SiLUGrad returns d SiLU(x)/dx = sigmoid(x)·(1 + x·(1-sigmoid(x))).
+func SiLUGrad(x float32) float32 {
+	s := Sigmoid(x)
+	return s * (1 + x*(1-s))
+}
+
+// ReLU returns max(x, 0).
+func ReLU(x float32) float32 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// ReLUGrad returns 1 for x>0 else 0.
+func ReLUGrad(x float32) float32 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Softmax writes the softmax of logits into out (allocated when nil) and
+// returns it. Numerically stabilized by max subtraction.
+func Softmax(logits Vec, out Vec) Vec {
+	if out == nil {
+		out = NewVec(len(logits))
+	}
+	if len(out) != len(logits) {
+		panic("tensor: Softmax out length mismatch")
+	}
+	if len(logits) == 0 {
+		return out
+	}
+	maxv := logits[0]
+	for _, x := range logits[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range logits {
+		e := math.Exp(float64(x - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// LogSumExp returns log Σ exp(logits_i) computed stably.
+func LogSumExp(logits Vec) float64 {
+	if len(logits) == 0 {
+		return math.Inf(-1)
+	}
+	maxv := logits[0]
+	for _, x := range logits[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for _, x := range logits {
+		sum += math.Exp(float64(x - maxv))
+	}
+	return float64(maxv) + math.Log(sum)
+}
+
+// TopKIndices returns the indices of the k largest values of score, in no
+// particular order. k is clamped to [0, len(score)]. Ties are broken by
+// lower index to keep results deterministic. The selection is O(n log k)
+// via a binary min-heap over (value, index) pairs.
+func TopKIndices(score Vec, k int) []int {
+	n := len(score)
+	if k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Min-heap of the current top-k: heap[0] is the smallest kept value.
+	type hv struct {
+		v float32
+		i int
+	}
+	heap := make([]hv, k)
+	less := func(a, b hv) bool {
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.i > b.i // higher index loses ties
+	}
+	siftDown := func(pos int) {
+		for {
+			l, r := 2*pos+1, 2*pos+2
+			smallest := pos
+			if l < k && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < k && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == pos {
+				return
+			}
+			heap[pos], heap[smallest] = heap[smallest], heap[pos]
+			pos = smallest
+		}
+	}
+	for i := 0; i < k; i++ {
+		heap[i] = hv{score[i], i}
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for i := k; i < n; i++ {
+		cand := hv{score[i], i}
+		if less(heap[0], cand) {
+			heap[0] = cand
+			siftDown(0)
+		}
+	}
+	idx := make([]int, k)
+	for i, h := range heap {
+		idx[i] = h.i
+	}
+	return idx
+}
+
+// TopKAbsMask returns a boolean mask keeping the k largest-magnitude
+// entries of x. This is the per-token top-K thresholding of Section 3.1.
+func TopKAbsMask(x Vec, k int) []bool {
+	score := NewVec(len(x))
+	for i, v := range x {
+		if v < 0 {
+			score[i] = -v
+		} else {
+			score[i] = v
+		}
+	}
+	mask := make([]bool, len(x))
+	for _, i := range TopKIndices(score, k) {
+		mask[i] = true
+	}
+	return mask
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the values using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(values []float32, q float64) float32 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float32, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := float32(pos - float64(lo))
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram buckets values into nbins equal-width bins over [min, max] and
+// returns the counts plus the bin edges (nbins+1 values). Values outside
+// the range are clamped into the first/last bin.
+func Histogram(values []float32, nbins int, minV, maxV float32) (counts []int, edges []float32) {
+	counts = make([]int, nbins)
+	edges = make([]float32, nbins+1)
+	width := (maxV - minV) / float32(nbins)
+	for i := range edges {
+		edges[i] = minV + float32(i)*width
+	}
+	if width <= 0 {
+		return counts, edges
+	}
+	for _, v := range values {
+		b := int((v - minV) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// Logit returns log(p/(1-p)) with p clamped away from {0,1}.
+func Logit(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}
+
+// Expit is the inverse of Logit.
+func Expit(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// ArgsortDesc returns the indices that sort score in descending order,
+// breaking ties by lower index.
+func ArgsortDesc(score Vec) []int {
+	idx := make([]int, len(score))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return score[idx[a]] > score[idx[b]] })
+	return idx
+}
