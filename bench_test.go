@@ -24,10 +24,10 @@ func lab(b *testing.B) *experiments.Lab {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchLab = experiments.NewLab(model.ScaleTest)
-		// Warm the two analogs most drivers touch so their training cost
-		// is excluded from per-experiment timings.
-		benchLab.Model(model.Phi3MedSim)
-		benchLab.Model(model.Mistral7BSim)
+		// Warm the two analogs most drivers touch (concurrently, across the
+		// worker pool) so their training cost is excluded from
+		// per-experiment timings.
+		benchLab.Warm(model.Phi3MedSim, model.Mistral7BSim)
 	})
 	return benchLab
 }

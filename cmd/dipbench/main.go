@@ -7,46 +7,110 @@
 //	dipbench -exp all -out results/   # everything, one file per experiment
 //	dipbench -exp tab2 -scale test    # fast miniature run
 //	dipbench -exp tab1 -ckpt ckpts/   # reuse checkpoints from diptrain
+//	dipbench -exp tab2 -procs 1       # pin the worker pool (serial run)
+//	dipbench -exp tab2 -cpuprofile cpu.out -memprofile mem.out
+//
+// Every run also emits a machine-readable BENCH_results.json (per
+// experiment: wall time in ns and the headline row of each table) into -out
+// when set, else the working directory; -json overrides the path and
+// -json none disables it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
+// benchTable is the JSON record of one rendered table.
+type benchTable struct {
+	ID          string            `json:"id"`
+	Rows        int               `json:"rows"`
+	HeadlineRow map[string]string `json:"headline_row,omitempty"`
+}
+
+// benchResult is the JSON record of one experiment run.
+type benchResult struct {
+	ID     string       `json:"id"`
+	NS     int64        `json:"ns"`
+	Tables []benchTable `json:"tables"`
+}
+
+// benchReport is the BENCH_results.json document.
+type benchReport struct {
+	Scale   string        `json:"scale"`
+	Procs   int           `json:"procs"`
+	Results []benchResult `json:"results"`
+}
+
+// fail reports an error and returns the process exit code; callers return
+// it up through run so deferred cleanup (CPU profile flushing) still fires.
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "dipbench: "+format+"\n", args...)
+	return 1
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.String("scale", "paper", "paper | test")
-		ckpt    = flag.String("ckpt", "", "checkpoint directory (shared with diptrain)")
-		outDir  = flag.String("out", "", "write each experiment's tables to <out>/<id>.txt as well as stdout")
-		csvOut  = flag.Bool("csv", false, "also write <out>/<id>-<table>.csv for plotting")
-		verbose = flag.Bool("v", true, "log lab progress to stderr")
+		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		scale      = flag.String("scale", "paper", "paper | test")
+		ckpt       = flag.String("ckpt", "", "checkpoint directory (shared with diptrain)")
+		outDir     = flag.String("out", "", "write each experiment's tables to <out>/<id>.txt as well as stdout")
+		csvOut     = flag.Bool("csv", false, "also write <out>/<id>-<table>.csv for plotting")
+		verbose    = flag.Bool("v", true, "log lab progress to stderr")
+		procs      = flag.Int("procs", 0, "worker-pool size (0 = GOMAXPROCS / $REPRO_PROCS; 1 = serial)")
+		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "dipbench: -exp required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 	sc := model.ScalePaper
 	if *scale == "test" {
 		sc = model.ScaleTest
 	} else if *scale != "paper" {
 		fmt.Fprintf(os.Stderr, "dipbench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
+	}
+	if *procs > 0 {
+		parallel.SetProcs(*procs)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	lab := experiments.NewLab(sc)
 	lab.CheckpointDir = *ckpt
@@ -57,23 +121,23 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	report := benchReport{Scale: *scale, Procs: parallel.Procs()}
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := experiments.Run(lab, id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dipbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return fail("%s: %v", id, err)
 		}
+		elapsed := time.Since(start)
+		res := benchResult{ID: id, NS: elapsed.Nanoseconds()}
 		var sink *os.File
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
-				os.Exit(1)
+				return fail("%v", err)
 			}
 			f, err := os.Create(filepath.Join(*outDir, id+".txt"))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
-				os.Exit(1)
+				return fail("%v", err)
 			}
 			sink = f
 		}
@@ -85,18 +149,72 @@ func main() {
 			if *csvOut && *outDir != "" {
 				f, err := os.Create(filepath.Join(*outDir, tab.ID+".csv"))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
-					os.Exit(1)
+					sink.Close()
+					return fail("%v", err)
 				}
 				if err := tab.RenderCSV(f); err != nil {
 					fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
 				}
 				f.Close()
 			}
+			bt := benchTable{ID: tab.ID, Rows: len(tab.Rows)}
+			if len(tab.Rows) > 0 {
+				last := tab.Rows[len(tab.Rows)-1]
+				bt.HeadlineRow = make(map[string]string, len(tab.Columns))
+				for ci, col := range tab.Columns {
+					if ci < len(last) {
+						bt.HeadlineRow[col] = last[ci]
+					}
+				}
+			}
+			res.Tables = append(res.Tables, bt)
 		}
 		if sink != nil {
 			sink.Close()
 		}
-		fmt.Fprintf(os.Stderr, "dipbench: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(os.Stderr, "dipbench: %s done in %v\n", id, elapsed.Round(time.Millisecond))
 	}
+	if err := writeReport(&report, *jsonPath, *outDir); err != nil {
+		return fail("results json: %v", err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail("memprofile: %v", err)
+		}
+		f.Close()
+	}
+	return 0
+}
+
+// writeReport emits BENCH_results.json. An explicit -json path wins; with
+// -out set the report lands beside the per-experiment files; otherwise it
+// goes to the working directory.
+func writeReport(report *benchReport, jsonPath, outDir string) error {
+	if jsonPath == "none" {
+		return nil
+	}
+	path := jsonPath
+	if path == "" {
+		path = "BENCH_results.json"
+		if outDir != "" {
+			path = filepath.Join(outDir, "BENCH_results.json")
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dipbench: wrote %s\n", path)
+	return nil
 }

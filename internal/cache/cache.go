@@ -75,6 +75,12 @@ type GroupCache struct {
 	lastUse []int64 // LRU
 	freq    []int64 // LFU
 
+	// inflight[u] == clock marks u as part of the access being processed,
+	// giving pickVictim an O(1) protection check instead of scanning the
+	// current unit list per candidate (the dominant cost of cache-coupled
+	// evaluation before this existed).
+	inflight []int64
+
 	// Belady state: for each unit, the (ascending) positions in the access
 	// stream where it is used, and a cursor into that list.
 	future  [][]int32
@@ -103,6 +109,7 @@ func NewGroupCache(policy Policy, capacity, nunits int) *GroupCache {
 		resident: make([]bool, nunits),
 		lastUse:  make([]int64, nunits),
 		freq:     make([]int64, nunits),
+		inflight: make([]int64, nunits),
 	}
 }
 
@@ -158,6 +165,9 @@ func (g *GroupCache) AccessSparse(units []int) (hits, misses int) {
 	g.clock++
 	g.maybeAge()
 	for _, u := range units {
+		g.inflight[u] = g.clock
+	}
+	for _, u := range units {
 		g.freq[u]++
 		if g.policy != PolicyFIFO {
 			g.lastUse[u] = g.clock
@@ -167,7 +177,7 @@ func (g *GroupCache) AccessSparse(units []int) (hits, misses int) {
 			continue
 		}
 		misses++
-		g.insert(u, units)
+		g.insert(u)
 	}
 	g.stats.Hits += int64(hits)
 	g.stats.Misses += int64(misses)
@@ -177,17 +187,17 @@ func (g *GroupCache) AccessSparse(units []int) (hits, misses int) {
 	return hits, misses
 }
 
-// insert makes u resident, evicting per policy when full. current is the
-// unit set of the in-flight access; those units are protected from
-// eviction (they are needed this token).
-func (g *GroupCache) insert(u int, current []int) {
+// insert makes u resident, evicting per policy when full. Units of the
+// in-flight access (stamped with the current clock) are protected from
+// eviction — they are needed this token.
+func (g *GroupCache) insert(u int) {
 	if g.count < g.capacity {
 		g.resident[u] = true
 		g.count++
 		g.noteInsert(u)
 		return
 	}
-	victim := g.pickVictim(current)
+	victim := g.pickVictim()
 	if victim < 0 {
 		// Everything resident is needed this token; bypass the cache for u
 		// (the paper's low-density regime where active neurons exceed the
@@ -208,15 +218,8 @@ func (g *GroupCache) insert(u int, current []int) {
 
 // pickVictim returns the resident unit to evict, or -1 when every resident
 // unit is in the current access set.
-func (g *GroupCache) pickVictim(current []int) int {
-	inFlight := func(v int) bool {
-		for _, c := range current {
-			if c == v {
-				return true
-			}
-		}
-		return false
-	}
+func (g *GroupCache) pickVictim() int {
+	inFlight := func(v int) bool { return g.inflight[v] == g.clock }
 	best := -1
 	switch g.policy {
 	case PolicyLRU, PolicyFIFO:

@@ -12,6 +12,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/hwsim"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
 )
@@ -94,28 +95,38 @@ func PerplexityUnderScheme(m *model.Model, s sparsity.Scheme, tokens []int, win 
 
 // MCAccuracy scores multiple-choice items under the scheme (no cache
 // coupling — quality metrics in the paper's Tables 1/3/4/5 use plain
-// masks) and returns the accuracy in percent.
+// masks) and returns the accuracy in percent. Items are independent, so
+// they fan out across the worker pool; each worker clones the scheme so
+// per-call scratch is never shared, and per-item verdicts are reduced in
+// item order — results match a serial run exactly.
 func MCAccuracy(m *model.Model, s sparsity.Scheme, tok *data.Tokenizer, items []data.MCItem) float64 {
-	var hook model.MLPHook
-	if s != nil {
-		hook = Hook(m, s, HookOpts{})
-	}
-	correct := 0
-	for _, it := range items {
-		prompt := tok.Encode(it.Prompt)
-		best, bestLP := -1, 0.0
-		for c, choice := range it.Choices {
-			lp := model.ContinuationLogProb(m, prompt, tok.Encode(choice), hook)
-			if best < 0 || lp > bestLP {
-				best, bestLP = c, lp
-			}
-		}
-		if best == it.Answer {
-			correct++
-		}
-	}
 	if len(items) == 0 {
 		return 0
+	}
+	got := make([]bool, len(items))
+	parallel.For(len(items), 1, func(lo, hi int) {
+		var hook model.MLPHook
+		if s != nil {
+			hook = Hook(m, sparsity.Clone(s), HookOpts{})
+		}
+		for i := lo; i < hi; i++ {
+			it := items[i]
+			prompt := tok.Encode(it.Prompt)
+			best, bestLP := -1, 0.0
+			for c, choice := range it.Choices {
+				lp := model.ContinuationLogProb(m, prompt, tok.Encode(choice), hook)
+				if best < 0 || lp > bestLP {
+					best, bestLP = c, lp
+				}
+			}
+			got[i] = best == it.Answer
+		}
+	})
+	correct := 0
+	for _, ok := range got {
+		if ok {
+			correct++
+		}
 	}
 	return 100 * float64(correct) / float64(len(items))
 }

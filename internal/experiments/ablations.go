@@ -28,15 +28,20 @@ func AblAlloc(l *Lab) ([]*Table, error) {
 		Columns: []string{"allocation", "density", "ppl", "tok_s", "hit_rate"},
 	}
 	win := l.EvalWin()
-	for _, density := range []float64{0.4, 0.5, 0.6} {
+	densities := []float64{0.4, 0.5, 0.6}
+	type ablRes struct{ uni, wtd eval.Point }
+	results := make([]ablRes, len(densities))
+	// Each density is independent (own scheme instance, own caches); the
+	// uniform/recording/weighted sequence within a density stays ordered.
+	if err := forEach(len(densities), func(i int) error {
+		density := densities[i]
 		s := sparsity.NewDIP(density)
 		groups := hwsim.ProbeGroups(s, m)
 		// Uniform baseline.
 		uni, err := runPlanned(l, m, s, test, win, groups, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.AddRow("uniform", density, uni.PPL, uni.Throughput, uni.HitRate)
 		// Trace-weighted: record one pass, derive per-layer weights.
 		rec := cache.NewTraceRecorder()
 		recHook := eval.Hook(m, s, eval.HookOpts{Recorder: rec})
@@ -46,9 +51,17 @@ func AblAlloc(l *Lab) ([]*Table, error) {
 		weights := hwsim.LayerWeightsFromTrace(rec, len(m.Blocks))
 		wtd, err := runPlanned(l, m, s, test, win, groups, weights)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.AddRow("trace-weighted", density, wtd.PPL, wtd.Throughput, wtd.HitRate)
+		results[i] = ablRes{uni, wtd}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, density := range densities {
+		r := results[i]
+		out.AddRow("uniform", density, r.uni.PPL, r.uni.Throughput, r.uni.HitRate)
+		out.AddRow("trace-weighted", density, r.wtd.PPL, r.wtd.Throughput, r.wtd.HitRate)
 	}
 	out.Notes = append(out.Notes,
 		"paper Appendix A: non-uniform allocation gives no significant improvement — DIP's per-token unit counts are constant per layer, so miss pressure is already uniform")

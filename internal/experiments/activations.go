@@ -24,9 +24,17 @@ func Fig3(l *Lab) ([]*Table, error) {
 		Title:   "Exact/near-zero GLU activation fraction",
 		Columns: []string{"model", "exact_zero_frac", "below_1e-3_of_max"},
 	}
-	for _, name := range []string{model.Mistral7BSim, model.ReluFiedSim} {
-		m := l.Model(name)
-		st := sparsity.CollectStats(m, l.CalibTokens(), l.EvalWin(), 256)
+	names := []string{model.Mistral7BSim, model.ReluFiedSim}
+	l.Warm(names...)
+	stats := make([]*sparsity.LayerStats, len(names))
+	if err := forEach(len(names), func(i int) error {
+		stats[i] = sparsity.CollectStats(l.Model(names[i]), l.CalibTokens(), l.EvalWin(), 256)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		st := stats[ni]
 		var all []float32
 		lastLayer := len(st.AbsGLU) - 1
 		all = append(all, st.AbsGLU[lastLayer]...) // the paper plots layer 31; we use the last layer
@@ -126,19 +134,41 @@ func Fig6(l *Lab) ([]*Table, error) {
 		densities = []float64{0.25, 0.5, 1.0}
 	}
 	items := l.MixedMCItems(99)
-	for _, name := range []string{model.Mistral7BSim, model.ReluFiedSim} {
+	names := []string{model.Mistral7BSim, model.ReluFiedSim}
+	l.Warm(names...)
+	// Fan out the full (name × density) grid: per cell one GLU-pruned
+	// accuracy, one predictive accuracy, and one recall measurement.
+	type fig6Cell struct {
+		accG, accP, recall float64
+	}
+	denseAccs := make([]float64, len(names))
+	cells := make([]fig6Cell, len(names)*len(densities))
+	if err := forEach(len(names) * (1 + len(densities)), func(i int) error {
+		ni := i / (1 + len(densities))
+		name := names[ni]
 		m := l.Model(name)
+		di := i%(1+len(densities)) - 1
+		if di < 0 {
+			denseAccs[ni] = eval.MCAccuracy(m, nil, l.Tokenizer(), items)
+			return nil
+		}
+		rho := densities[di]
 		preds := l.Predictors(name)
-		denseAcc := eval.MCAccuracy(m, nil, l.Tokenizer(), items)
-		out.AddRow(name, "dense", 1.0, denseAcc, "-")
-		for _, rho := range densities {
-			glu := &sparsity.GLUPrune{RhoGLU: rho}
-			accG := eval.MCAccuracy(m, glu, l.Tokenizer(), items)
-			out.AddRow(name, "glu", rho, accG, "-")
-			pred := &sparsity.Predictive{Rho: rho, Score: preds.ScoreFunc(), ParamsPerLayer: preds.ParamCount() / len(m.Blocks)}
-			accP := eval.MCAccuracy(m, pred, l.Tokenizer(), items)
-			recall := predictorRecall(l, name, rho)
-			out.AddRow(name, "glu-predictive", rho, accP, fmt.Sprintf("%.3f", recall))
+		c := &cells[ni*len(densities)+di]
+		c.accG = eval.MCAccuracy(m, &sparsity.GLUPrune{RhoGLU: rho}, l.Tokenizer(), items)
+		pred := &sparsity.Predictive{Rho: rho, Score: preds.ScoreFunc(), ParamsPerLayer: preds.ParamCount() / len(m.Blocks)}
+		c.accP = eval.MCAccuracy(m, pred, l.Tokenizer(), items)
+		c.recall = predictorRecall(l, name, rho)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		out.AddRow(name, "dense", 1.0, denseAccs[ni], "-")
+		for di, rho := range densities {
+			c := cells[ni*len(densities)+di]
+			out.AddRow(name, "glu", rho, c.accG, "-")
+			out.AddRow(name, "glu-predictive", rho, c.accP, fmt.Sprintf("%.3f", c.recall))
 		}
 	}
 	out.Notes = append(out.Notes,

@@ -26,14 +26,20 @@ func Fig12(l *Lab) ([]*Table, error) {
 		Title:   "Allocation trials: (rho_in, rho_glu) grid",
 		Columns: []string{"rho_in", "rho_glu", "mlp_density", "ppl"},
 	}
-	var all []sparsity.AllocTrial
-	for _, rin := range grid {
-		for _, rglu := range grid {
-			s := &sparsity.DIP{RhoIn: rin, RhoGLU: rglu, Gamma: 1}
-			ppl, density := eval.PerplexityUnderScheme(m, s, test, l.EvalWin())
-			trials.AddRow(rin, rglu, density, ppl)
-			all = append(all, sparsity.AllocTrial{RhoIn: rin, RhoGLU: rglu, Density: density, PPL: ppl})
-		}
+	// The (rho_in × rho_glu) grid points are independent evaluations; fan
+	// them out and assemble rows in grid order afterwards.
+	all := make([]sparsity.AllocTrial, len(grid)*len(grid))
+	if err := forEach(len(all), func(i int) error {
+		rin, rglu := grid[i/len(grid)], grid[i%len(grid)]
+		s := &sparsity.DIP{RhoIn: rin, RhoGLU: rglu, Gamma: 1}
+		ppl, density := eval.PerplexityUnderScheme(m, s, test, l.EvalWin())
+		all[i] = sparsity.AllocTrial{RhoIn: rin, RhoGLU: rglu, Density: density, PPL: ppl}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, tr := range all {
+		trials.AddRow(tr.RhoIn, tr.RhoGLU, tr.Density, tr.PPL)
 	}
 	front := sparsity.ParetoFront(all)
 	frontT := &Table{

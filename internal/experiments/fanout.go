@@ -1,0 +1,23 @@
+package experiments
+
+import "repro/internal/parallel"
+
+// forEach fans fn out over [0, n) on the worker pool and returns the first
+// error by index. Drivers use it to evaluate independent grid points
+// (densities, gammas, devices, methods) concurrently while assembling table
+// rows in deterministic index order afterwards — parallel runs emit
+// bit-identical tables to serial ones.
+func forEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = fn(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

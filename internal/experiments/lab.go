@@ -16,12 +16,18 @@ import (
 	"repro/internal/data"
 	"repro/internal/lora"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/predictor"
 	"repro/internal/prune"
 	"repro/internal/sparsity"
 )
 
 // Lab prepares and memoizes every expensive artifact the drivers need.
+// Memoization is per key: two goroutines asking for different artifacts
+// build them concurrently, while a second request for an in-flight key
+// blocks until the first build finishes. Every build is deterministic in
+// isolation (its own seeds, no shared mutable inputs), so results do not
+// depend on build order or worker count.
 type Lab struct {
 	Scale model.Scale
 	// CheckpointDir, when non-empty, persists trained base models across
@@ -34,30 +40,59 @@ type Lab struct {
 	splits data.Splits
 	once   sync.Once
 
-	mu      sync.Mutex
-	models  map[string]*model.Model
-	preds   map[string]*predictor.Set
-	pruned  map[string]*model.Model
-	fused   map[string]*model.Model
-	catsSch map[string]*sparsity.CATS
+	mu   sync.Mutex
+	memo map[string]*labEntry
+
+	logMu sync.Mutex
+}
+
+// labEntry is one memoized artifact slot with per-key build locking.
+type labEntry struct {
+	once sync.Once
+	val  any
+}
+
+// memoize returns the artifact for key, running build at most once per key.
+func (l *Lab) memoize(key string, build func() any) any {
+	l.mu.Lock()
+	if l.memo == nil {
+		l.memo = make(map[string]*labEntry)
+	}
+	e, ok := l.memo[key]
+	if !ok {
+		e = &labEntry{}
+		l.memo[key] = e
+	}
+	l.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
 }
 
 // NewLab returns a lab at the given scale.
 func NewLab(scale model.Scale) *Lab {
-	return &Lab{
-		Scale:   scale,
-		models:  make(map[string]*model.Model),
-		preds:   make(map[string]*predictor.Set),
-		pruned:  make(map[string]*model.Model),
-		fused:   make(map[string]*model.Model),
-		catsSch: make(map[string]*sparsity.CATS),
-	}
+	return &Lab{Scale: scale, memo: make(map[string]*labEntry)}
 }
 
 func (l *Lab) logf(format string, args ...any) {
 	if l.Log != nil {
+		l.logMu.Lock()
 		fmt.Fprintf(l.Log, format+"\n", args...)
+		l.logMu.Unlock()
 	}
+}
+
+// Warm trains the named analogs (every analog when none are given)
+// concurrently across the worker pool. Each model's training is seeded by
+// its name, so warm-up order cannot change any result.
+func (l *Lab) Warm(names ...string) {
+	if len(names) == 0 {
+		names = model.AnalogNames()
+	}
+	parallel.For(len(names), 1, func(lo, hi int) {
+		for _, n := range names[lo:hi] {
+			l.Model(n)
+		}
+	})
 }
 
 func (l *Lab) init() {
@@ -151,39 +186,34 @@ func (l *Lab) trainOpts() model.TrainOpts {
 // first use.
 func (l *Lab) Model(name string) *model.Model {
 	l.init()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if m, ok := l.models[name]; ok {
-		return m
-	}
-	if l.CheckpointDir != "" {
-		path := l.checkpointPath(name)
-		if m, err := model.LoadCheckpointFile(path); err == nil {
-			l.logf("loaded %s from %s", name, path)
-			l.models[name] = m
-			return m
-		}
-	}
-	cfg, err := model.ConfigFor(name, l.Scale)
-	if err != nil {
-		panic(err)
-	}
-	m := model.New(cfg, 1000+hash(name))
-	l.logf("training %s (%d params)...", name, countParams(m))
-	opts := l.trainOpts()
-	opts.Seed = 500 + hash(name)
-	if _, err := model.Train(m, l.tok.Encode(l.splits.Train), opts); err != nil {
-		panic(fmt.Sprintf("experiments: training %s: %v", name, err))
-	}
-	if l.CheckpointDir != "" {
-		if err := os.MkdirAll(l.CheckpointDir, 0o755); err == nil {
-			if err := model.SaveCheckpointFile(l.checkpointPath(name), m); err != nil {
-				l.logf("warning: saving %s checkpoint: %v", name, err)
+	return l.memoize("model/"+name, func() any {
+		if l.CheckpointDir != "" {
+			path := l.checkpointPath(name)
+			if m, err := model.LoadCheckpointFile(path); err == nil {
+				l.logf("loaded %s from %s", name, path)
+				return m
 			}
 		}
-	}
-	l.models[name] = m
-	return m
+		cfg, err := model.ConfigFor(name, l.Scale)
+		if err != nil {
+			panic(err)
+		}
+		m := model.New(cfg, 1000+hash(name))
+		l.logf("training %s (%d params)...", name, countParams(m))
+		opts := l.trainOpts()
+		opts.Seed = 500 + hash(name)
+		if _, err := model.Train(m, l.tok.Encode(l.splits.Train), opts); err != nil {
+			panic(fmt.Sprintf("experiments: training %s: %v", name, err))
+		}
+		if l.CheckpointDir != "" {
+			if err := os.MkdirAll(l.CheckpointDir, 0o755); err == nil {
+				if err := model.SaveCheckpointFile(l.checkpointPath(name), m); err != nil {
+					l.logf("warning: saving %s checkpoint: %v", name, err)
+				}
+			}
+		}
+		return m
+	}).(*model.Model)
 }
 
 func (l *Lab) checkpointPath(name string) string {
@@ -197,85 +227,79 @@ func (l *Lab) checkpointPath(name string) string {
 // Predictors returns trained DejaVu predictors for the analog.
 func (l *Lab) Predictors(name string) *predictor.Set {
 	m := l.Model(name)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s, ok := l.preds[name]; ok {
-		return s
-	}
-	l.logf("training predictors for %s...", name)
-	opts := predictor.DefaultTrainOpts()
-	if l.Scale == model.ScaleTest {
-		opts.Epochs = 4
-		opts.MaxTokens = 192
-	}
-	s := predictor.Train(m, l.CalibTokens(), l.EvalWin(), opts)
-	l.preds[name] = s
-	return s
+	return l.memoize("preds/"+name, func() any {
+		l.logf("training predictors for %s...", name)
+		opts := predictor.DefaultTrainOpts()
+		if l.Scale == model.ScaleTest {
+			opts.Epochs = 4
+			opts.MaxTokens = 192
+		}
+		return predictor.Train(m, l.CalibTokens(), l.EvalWin(), opts)
+	}).(*predictor.Set)
 }
 
 // SparseGPT returns a cached SparseGPT-pruned copy of the analog.
 func (l *Lab) SparseGPT(name string, pattern prune.Pattern, sparsityFrac float64) *model.Model {
 	m := l.Model(name)
-	key := fmt.Sprintf("%s/%v/%.2f", name, pattern, sparsityFrac)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if p, ok := l.pruned[key]; ok {
+	key := fmt.Sprintf("sparsegpt/%s/%v/%.2f", name, pattern, sparsityFrac)
+	return l.memoize(key, func() any {
+		l.logf("sparsegpt %s...", key)
+		opts := prune.DefaultOpts()
+		opts.Sparsity = sparsityFrac
+		p, err := prune.SparseGPTModel(m, l.CalibTokens(), l.EvalWin(), pattern, opts)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", key, err))
+		}
 		return p
-	}
-	l.logf("sparsegpt %s...", key)
-	opts := prune.DefaultOpts()
-	opts.Sparsity = sparsityFrac
-	p, err := prune.SparseGPTModel(m, l.CalibTokens(), l.EvalWin(), pattern, opts)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: sparsegpt %s: %v", key, err))
-	}
-	l.pruned[key] = p
-	return p
+	}).(*model.Model)
+}
+
+// CalibStats returns the memoized calibration activation statistics for the
+// analog (512 recorded MLP evaluations, the NewCATS setting). Collecting
+// stats is a full dense calibration pass; sharing one collection across
+// every CATS density avoids repeating it per operating point.
+func (l *Lab) CalibStats(name string) *sparsity.LayerStats {
+	m := l.Model(name)
+	return l.memoize("calibstats/"+name, func() any {
+		l.logf("collecting calibration stats for %s...", name)
+		return sparsity.CollectStats(m, l.CalibTokens(), l.EvalWin(), 512)
+	}).(*sparsity.LayerStats)
 }
 
 // CATS returns a calibrated CATS scheme at the intermediate keep rate.
 func (l *Lab) CATS(name string, rho float64) *sparsity.CATS {
-	m := l.Model(name)
-	key := fmt.Sprintf("%s/%.3f", name, rho)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s, ok := l.catsSch[key]; ok {
-		return s
-	}
-	s := sparsity.NewCATS(m, l.CalibTokens(), l.EvalWin(), rho)
-	l.catsSch[key] = s
-	return s
+	st := l.CalibStats(name)
+	key := fmt.Sprintf("cats/%s/%.3f", name, rho)
+	return l.memoize(key, func() any {
+		return &sparsity.CATS{Thresholds: st.CATSThresholds(rho)}
+	}).(*sparsity.CATS)
 }
 
 // Fused returns the analog with LoRA adapters trained for the scheme and
 // fused in (memoized by model + scheme name + density key).
 func (l *Lab) Fused(name string, scheme sparsity.Scheme, densityKey string, adaptGate bool) *model.Model {
 	m := l.Model(name)
-	key := fmt.Sprintf("%s/%s/%s", name, scheme.Name(), densityKey)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if f, ok := l.fused[key]; ok {
+	key := fmt.Sprintf("fused/%s/%s/%s", name, scheme.Name(), densityKey)
+	return l.memoize(key, func() any {
+		l.logf("training LoRA for %s...", key)
+		opts := lora.DefaultTrainOpts()
+		opts.AdaptGate = adaptGate
+		if l.Scale == model.ScaleTest {
+			opts.Iterations = 250
+			opts.MaxTokens = 128
+		} else {
+			opts.Iterations = 700
+		}
+		adapters, err := lora.Train(m, sparsity.Clone(scheme), l.CalibTokens(), l.EvalWin(), opts)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: lora %s: %v", key, err))
+		}
+		f, err := lora.Fuse(m, adapters)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fuse %s: %v", key, err))
+		}
 		return f
-	}
-	l.logf("training LoRA for %s...", key)
-	opts := lora.DefaultTrainOpts()
-	opts.AdaptGate = adaptGate
-	if l.Scale == model.ScaleTest {
-		opts.Iterations = 250
-		opts.MaxTokens = 128
-	} else {
-		opts.Iterations = 700
-	}
-	adapters, err := lora.Train(m, scheme, l.CalibTokens(), l.EvalWin(), opts)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: lora %s: %v", key, err))
-	}
-	f, err := lora.Fuse(m, adapters)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: fuse %s: %v", key, err))
-	}
-	l.fused[key] = f
-	return f
+	}).(*model.Model)
 }
 
 func hash(s string) uint64 {

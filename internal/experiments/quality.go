@@ -70,20 +70,47 @@ func qualityTable(l *Lab, id string, density float64, includeSemi bool) ([]*Tabl
 	}
 	items := l.MixedMCItems(7)
 	test := l.TestTokens(0)
-	for _, name := range names {
-		for _, me := range qualityMethods(l, name, density, includeSemi) {
-			var ppl, d float64
-			if me.scheme == nil {
-				ppl = model.Perplexity(me.m, test, l.EvalWin(), nil)
-				d = 1
+	l.Warm(names...)
+	// Build each analog's method list (training predictors / pruned / fused
+	// artifacts on first use) with analogs in parallel, then evaluate the
+	// whole (name × method) grid concurrently. Shared schemes (CATS between
+	// "cats" and "cats+lora", DIP between "dip" and "dip+lora") are cloned
+	// per cell so scratch state is never shared.
+	methods := make([][]methodEval, len(names))
+	if err := forEach(len(names), func(ni int) error {
+		methods[ni] = qualityMethods(l, names[ni], density, includeSemi)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type cellRes struct{ ppl, acc, d float64 }
+	results := make([][]cellRes, len(names))
+	if err := forEach(len(names), func(ni int) error {
+		results[ni] = make([]cellRes, len(methods[ni]))
+		return forEach(len(methods[ni]), func(mi int) error {
+			me := methods[ni][mi]
+			scheme := sparsity.Clone(me.scheme)
+			var r cellRes
+			if scheme == nil {
+				r.ppl = model.Perplexity(me.m, test, l.EvalWin(), nil)
+				r.d = 1
 				if me.label != "dense" {
-					d = 1 - prune.MLPSparsity(me.m) // statically pruned
+					r.d = 1 - prune.MLPSparsity(me.m) // statically pruned
 				}
 			} else {
-				ppl, d = eval.PerplexityUnderScheme(me.m, me.scheme, test, l.EvalWin())
+				r.ppl, r.d = eval.PerplexityUnderScheme(me.m, scheme, test, l.EvalWin())
 			}
-			acc := eval.MCAccuracy(me.m, me.scheme, l.Tokenizer(), items)
-			out.AddRow(me.label, name, ppl, acc, d)
+			r.acc = eval.MCAccuracy(me.m, scheme, l.Tokenizer(), items)
+			results[ni][mi] = r
+			return nil
+		})
+	}); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		for mi, me := range methods[ni] {
+			r := results[ni][mi]
+			out.AddRow(me.label, name, r.ppl, r.acc, r.d)
 		}
 	}
 	out.Notes = append(out.Notes,
@@ -124,12 +151,21 @@ func Table5(l *Lab) ([]*Table, error) {
 			{"cats", m, l.CATS(name, 0.25)},
 			{"dip", m, sparsity.NewDIP(density)},
 		}
-		for _, kind := range data.TaskKinds() {
-			items := l.MCItems(kind, 300+uint64(kind))
-			for _, me := range methods {
-				acc := eval.MCAccuracy(me.m, me.scheme, l.Tokenizer(), items)
-				out.AddRow(name, me.label, kind.String(), acc)
-			}
+		kinds := data.TaskKinds()
+		itemsByKind := make([][]data.MCItem, len(kinds))
+		for ki, kind := range kinds {
+			itemsByKind[ki] = l.MCItems(kind, 300+uint64(kind))
+		}
+		accs := make([]float64, len(kinds)*len(methods))
+		if err := forEach(len(accs), func(i int) error {
+			me := methods[i%len(methods)]
+			accs[i] = eval.MCAccuracy(me.m, sparsity.Clone(me.scheme), l.Tokenizer(), itemsByKind[i/len(methods)])
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for i, acc := range accs {
+			out.AddRow(name, methods[i%len(methods)].label, kinds[i/len(methods)].String(), acc)
 		}
 	}
 	return []*Table{out}, nil
@@ -159,6 +195,14 @@ func densitySweep(l *Lab, id, name string) ([]*Table, error) {
 	densePPL := model.Perplexity(m, test, l.EvalWin(), nil)
 	denseAcc := eval.MCAccuracy(m, nil, l.Tokenizer(), items)
 	out.AddRow("dense", 1.0, densePPL, denseAcc)
+	// Flatten the (density × method) sweep and fan it out; emit rows from
+	// the indexed results in the original order.
+	type sweepCell struct {
+		label   string
+		density float64
+		me      methodEval
+	}
+	var cells []sweepCell
 	for _, density := range densities {
 		rowRho := (3*density - 1) / 2
 		if rowRho < 0.02 {
@@ -182,15 +226,28 @@ func densitySweep(l *Lab, id, name string) ([]*Table, error) {
 			if (me.label == "sparsegpt-2:4" || me.label == "sparsegpt-4:8") && density != 0.5 {
 				continue
 			}
-			var ppl float64
-			if me.scheme == nil {
-				ppl = model.Perplexity(me.m, test, l.EvalWin(), nil)
-			} else {
-				ppl, _ = eval.PerplexityUnderScheme(me.m, me.scheme, test, l.EvalWin())
-			}
-			acc := eval.MCAccuracy(me.m, me.scheme, l.Tokenizer(), items)
-			out.AddRow(me.label, density, ppl, acc)
+			cells = append(cells, sweepCell{me.label, density, me})
 		}
+	}
+	type sweepRes struct{ ppl, acc float64 }
+	results := make([]sweepRes, len(cells))
+	if err := forEach(len(cells), func(i int) error {
+		me := cells[i].me
+		scheme := sparsity.Clone(me.scheme)
+		var r sweepRes
+		if scheme == nil {
+			r.ppl = model.Perplexity(me.m, test, l.EvalWin(), nil)
+		} else {
+			r.ppl, _ = eval.PerplexityUnderScheme(me.m, scheme, test, l.EvalWin())
+		}
+		r.acc = eval.MCAccuracy(me.m, scheme, l.Tokenizer(), items)
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		out.AddRow(c.label, c.density, results[i].ppl, results[i].acc)
 	}
 	out.Notes = append(out.Notes,
 		"paper Figure 8: DIP dominates static and predictive baselines at every density")

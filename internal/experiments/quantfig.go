@@ -38,58 +38,86 @@ func Fig9(l *Lab) ([]*Table, error) {
 	densePPL := model.Perplexity(m, test, win, nil)
 	out.AddRow("dense-fp16", memoryMB(m, 2.0, 1), densePPL)
 
-	// Blockwise quantization at 2/3/4 bits.
+	// Quantizer builds and their dense evaluations are independent; fan
+	// them out, then emit rows in the fixed bq/vq/sparsegpt order.
 	bqBits := []int{2, 3, 4}
 	if l.Scale == model.ScaleTest {
 		bqBits = []int{2, 4}
 	}
-	bqModels := map[int]*model.Model{}
-	for _, bits := range bqBits {
-		opts := quant.DefaultBQOpts(bits)
-		qm, err := quant.BQModel(m, calib, win, opts)
-		if err != nil {
-			return nil, fmt.Errorf("bq%d: %w", bits, err)
-		}
-		bqModels[bits] = qm
-		ppl := model.Perplexity(qm, test, win, nil)
-		out.AddRow(fmt.Sprintf("bq%d", bits), memoryMB(m, quant.BQBytesPerWeight(opts), 1), ppl)
-	}
-	// Vector quantization at 2/3 bits.
 	vqBits := []int{2, 3}
 	if l.Scale == model.ScaleTest {
 		vqBits = []int{3}
 	}
-	vqModels := map[int]*model.Model{}
-	for _, bits := range vqBits {
-		opts := quant.DefaultVQOpts(bits)
-		qm := quant.VQModel(m, opts)
-		vqModels[bits] = qm
-		ppl := model.Perplexity(qm, test, win, nil)
-		out.AddRow(fmt.Sprintf("vq%d", bits), memoryMB(m, quant.VQBytesPerWeight(opts), 1), ppl)
+	bqModels := make([]*model.Model, len(bqBits))
+	bqPPL := make([]float64, len(bqBits))
+	vqModels := make([]*model.Model, len(vqBits))
+	vqPPL := make([]float64, len(vqBits))
+	var sgPPL float64
+	if err := forEach(len(bqBits)+len(vqBits)+1, func(i int) error {
+		switch {
+		case i < len(bqBits):
+			bits := bqBits[i]
+			qm, err := quant.BQModel(m, calib, win, quant.DefaultBQOpts(bits))
+			if err != nil {
+				return fmt.Errorf("bq%d: %w", bits, err)
+			}
+			bqModels[i] = qm
+			bqPPL[i] = model.Perplexity(qm, test, win, nil)
+		case i < len(bqBits)+len(vqBits):
+			bits := vqBits[i-len(bqBits)]
+			qm := quant.VQModel(m, quant.DefaultVQOpts(bits))
+			vqModels[i-len(bqBits)] = qm
+			vqPPL[i-len(bqBits)] = model.Perplexity(qm, test, win, nil)
+		default:
+			// SparseGPT at 4-bit storage with the 1-bit mask overhead.
+			pm := l.SparseGPT(name, prune.Unstructured, 0.5)
+			sgPPL = model.Perplexity(pm, test, win, nil)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	// SparseGPT at 4-bit storage with the 1-bit mask overhead.
-	for _, s := range []float64{0.5} {
-		pm := l.SparseGPT(name, prune.Unstructured, s)
-		ppl := model.Perplexity(pm, test, win, nil)
-		bpw := 0.5 + prune.MaskOverheadBits/8 // 4-bit payload + mask bit
-		out.AddRow(fmt.Sprintf("sparsegpt-%.0f%%+bq4", 100*s), memoryMB(m, bpw, 1-s), ppl)
+	for i, bits := range bqBits {
+		out.AddRow(fmt.Sprintf("bq%d", bits), memoryMB(m, quant.BQBytesPerWeight(quant.DefaultBQOpts(bits)), 1), bqPPL[i])
 	}
+	for i, bits := range vqBits {
+		out.AddRow(fmt.Sprintf("vq%d", bits), memoryMB(m, quant.VQBytesPerWeight(quant.DefaultVQOpts(bits)), 1), vqPPL[i])
+	}
+	bpw := 0.5 + prune.MaskOverheadBits/8 // 4-bit payload + mask bit
+	out.AddRow("sparsegpt-50%+bq4", memoryMB(m, bpw, 0.5), sgPPL)
 	// BQ4+DIP and VQ3+DIP density sweeps: dynamic sparsity on top of a
 	// quantized model.
 	densities := []float64{0.4, 0.5, 0.65, 0.8}
 	if l.Scale == model.ScaleTest {
 		densities = []float64{0.5, 0.8}
 	}
-	if qm, ok := bqModels[4]; ok {
-		for _, d := range densities {
-			ppl, meas := eval.PerplexityUnderScheme(qm, sparsity.NewDIP(d), test, win)
-			out.AddRow(fmt.Sprintf("bq4+dip@%.2f", d), memoryMB(m, quant.BQBytesPerWeight(quant.DefaultBQOpts(4)), meas), ppl)
+	sweep := func(qm *model.Model, label string, bytesPerWeight float64) error {
+		type dipRes struct{ ppl, meas float64 }
+		results := make([]dipRes, len(densities))
+		if err := forEach(len(densities), func(i int) error {
+			ppl, meas := eval.PerplexityUnderScheme(qm, sparsity.NewDIP(densities[i]), test, win)
+			results[i] = dipRes{ppl, meas}
+			return nil
+		}); err != nil {
+			return err
+		}
+		for i, d := range densities {
+			out.AddRow(fmt.Sprintf("%s+dip@%.2f", label, d), memoryMB(m, bytesPerWeight, results[i].meas), results[i].ppl)
+		}
+		return nil
+	}
+	for i, bits := range bqBits {
+		if bits == 4 {
+			if err := sweep(bqModels[i], "bq4", quant.BQBytesPerWeight(quant.DefaultBQOpts(4))); err != nil {
+				return nil, err
+			}
 		}
 	}
-	if qm, ok := vqModels[3]; ok {
-		for _, d := range densities {
-			ppl, meas := eval.PerplexityUnderScheme(qm, sparsity.NewDIP(d), test, win)
-			out.AddRow(fmt.Sprintf("vq3+dip@%.2f", d), memoryMB(m, quant.VQBytesPerWeight(quant.DefaultVQOpts(3)), meas), ppl)
+	for i, bits := range vqBits {
+		if bits == 3 {
+			if err := sweep(vqModels[i], "vq3", quant.VQBytesPerWeight(quant.DefaultVQOpts(3))); err != nil {
+				return nil, err
+			}
 		}
 	}
 	out.Notes = append(out.Notes,

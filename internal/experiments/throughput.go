@@ -65,18 +65,29 @@ func (l *Lab) evalTokens() int {
 }
 
 // operatingPoints sweeps one family's densities under a device/policy.
+// Each density is an independent coupled evaluation (own cache, own meter,
+// own scheme clone), so the sweep fans out over the worker pool.
 func operatingPoints(l *Lab, name string, fam throughputFamily, dev hwsim.Device, policy cache.Policy) ([]eval.Point, error) {
 	m := l.Model(name)
 	test := l.TestTokens(0)
-	var pts []eval.Point
-	for _, d := range sweepDensities(l, fam.minDensity) {
-		pt, err := eval.SystemEvaluate(m, fam.makeScheme(d), test, eval.SystemConfig{
+	densities := sweepDensities(l, fam.minDensity)
+	pts := make([]eval.Point, len(densities))
+	err := forEach(len(densities), func(i int) error {
+		d := densities[i]
+		// Clone: makeScheme may hand back a lab-memoized scheme (CATS)
+		// whose scratch must not be shared across concurrent evaluations.
+		s := sparsity.Clone(fam.makeScheme(d))
+		pt, err := eval.SystemEvaluate(m, s, test, eval.SystemConfig{
 			Device: dev, Policy: policy, MaxTokens: l.evalTokens(), Win: l.EvalWin(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s @%.2f: %w", fam.label, d, err)
+			return fmt.Errorf("%s @%.2f: %w", fam.label, d, err)
 		}
-		pts = append(pts, pt)
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -108,23 +119,56 @@ func Table2(l *Lab) ([]*Table, error) {
 		names = names[:2]
 		out.Notes = append(out.Notes, "test scale: first two analogs only")
 	}
-	for _, name := range names {
+	// Warm the analogs concurrently, then fan out the whole (name × method)
+	// grid — each cell is an independent coupled evaluation. Rows are
+	// assembled from the indexed results afterwards, preserving the serial
+	// table order exactly.
+	l.Warm(names...)
+	type nameRes struct {
+		modelBytes float64
+		dense      eval.Point
+		fams       []throughputFamily
+		pts        [][]eval.Point
+	}
+	results := make([]nameRes, len(names))
+	err := forEach(len(names), func(ni int) error {
+		name := names[ni]
 		m := l.Model(name)
 		plan, err := hwsim.NewPlan(m, dev, hwsim.PlanOpts{Groups: hwsim.ProbeGroups(sparsity.NewDIP(0.5), m)})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sizes.AddRow(name, plan.ModelBytes/1e9, dev.DRAMFraction*plan.ModelBytes/1e9)
-		dense, err := densePoint(l, name, dev)
-		if err != nil {
-			return nil, err
-		}
-		out.AddRow(name, "dense", dense.Throughput, dense.Throughput, 1.0, dense.HitRate)
-		for _, fam := range throughputFamilies(l, name) {
-			pts, err := operatingPoints(l, name, fam, dev, cache.PolicyLFU)
-			if err != nil {
-				return nil, err
+		r := &results[ni]
+		r.modelBytes = plan.ModelBytes
+		r.fams = throughputFamilies(l, name)
+		r.pts = make([][]eval.Point, len(r.fams))
+		return forEach(1+len(r.fams), func(i int) error {
+			if i == 0 {
+				dense, err := densePoint(l, name, dev)
+				if err != nil {
+					return err
+				}
+				r.dense = dense
+				return nil
 			}
+			pts, err := operatingPoints(l, name, r.fams[i-1], dev, cache.PolicyLFU)
+			if err != nil {
+				return err
+			}
+			r.pts[i-1] = pts
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		r := &results[ni]
+		sizes.AddRow(name, r.modelBytes/1e9, dev.DRAMFraction*r.modelBytes/1e9)
+		dense := r.dense
+		out.AddRow(name, "dense", dense.Throughput, dense.Throughput, 1.0, dense.HitRate)
+		for fi, fam := range r.fams {
+			pts := r.pts[fi]
 			row := []any{name, fam.label}
 			best02, ok02 := eval.BestThroughput(pts, dense.PPL+0.2*pplScale(dense.PPL))
 			best05, ok05 := eval.BestThroughput(pts, dense.PPL+0.5*pplScale(dense.PPL))
@@ -190,14 +234,22 @@ func Fig10(l *Lab) ([]*Table, error) {
 		gammas = []float64{1e-3, 0.2, 1.0}
 	}
 	test := l.TestTokens(0)
-	for _, g := range gammas {
-		pt, err := eval.SystemEvaluate(m, sparsity.NewDIPCA(0.5, g), test, eval.SystemConfig{
+	gpts := make([]eval.Point, len(gammas))
+	err := forEach(len(gammas), func(i int) error {
+		pt, err := eval.SystemEvaluate(m, sparsity.NewDIPCA(0.5, gammas[i]), test, eval.SystemConfig{
 			Device: hwsim.A18Like(), Policy: cache.PolicyLFU, MaxTokens: l.evalTokens(), Win: l.EvalWin(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sweep.AddRow(g, pt.PPL, pt.Throughput, pt.HitRate)
+		gpts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range gammas {
+		sweep.AddRow(g, gpts[i].PPL, gpts[i].Throughput, gpts[i].HitRate)
 	}
 	sweep.Notes = append(sweep.Notes,
 		"paper Figure 10 (right): γ ≈ 0.1–0.3 maximizes throughput at minor perplexity cost; γ=1 is plain DIP")
@@ -235,22 +287,31 @@ func Fig11(l *Lab) ([]*Table, error) {
 		{"dip-belady", cache.PolicyBelady, false},
 		{"dip-ca-lfu", cache.PolicyLFU, true},
 	}
-	for _, cfg := range configs {
-		for _, d := range sweepDensities(l, 0.25) {
-			var s sparsity.Scheme
-			if cfg.ca {
-				s = sparsity.NewDIPCA(d, 0.2)
-			} else {
-				s = sparsity.NewDIP(d)
-			}
-			pt, err := eval.SystemEvaluate(m, s, test, eval.SystemConfig{
-				Device: hwsim.A18Like(), Policy: cfg.policy, MaxTokens: l.evalTokens(), Win: l.EvalWin(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.AddRow(cfg.label, d, pt.PPL, pt.Throughput, pt.HitRate)
+	densities := sweepDensities(l, 0.25)
+	grid := make([]eval.Point, len(configs)*len(densities))
+	err = forEach(len(grid), func(i int) error {
+		cfg := configs[i/len(densities)]
+		d := densities[i%len(densities)]
+		var s sparsity.Scheme
+		if cfg.ca {
+			s = sparsity.NewDIPCA(d, 0.2)
+		} else {
+			s = sparsity.NewDIP(d)
 		}
+		pt, err := eval.SystemEvaluate(m, s, test, eval.SystemConfig{
+			Device: hwsim.A18Like(), Policy: cfg.policy, MaxTokens: l.evalTokens(), Win: l.EvalWin(),
+		})
+		if err != nil {
+			return err
+		}
+		grid[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range grid {
+		out.AddRow(configs[i/len(densities)].label, densities[i%len(densities)], pt.PPL, pt.Throughput, pt.HitRate)
 	}
 	out.Notes = append(out.Notes,
 		"paper Figure 11: LFU ≈ LRU ≲ Belady, all well below DIP-CA at equal perplexity")
@@ -285,23 +346,49 @@ func deviceAblation(l *Lab, id, title string, devices []hwsim.Device) ([]*Table,
 		Title:   title,
 		Columns: []string{"device", "method", "tok_s_@+0.5ppl", "hit_rate"},
 	}
-	fams := throughputFamilies(l, name)
+	allFams := throughputFamilies(l, name)
 	// The ablation tables track dense, GLU, Up, CATS, DIP-CA (paper).
 	keep := map[string]bool{"glu": true, "up": true, "cats": true, "dip-ca": true}
-	for _, dev := range devices {
-		dense, err := densePoint(l, name, dev)
-		if err != nil {
-			return nil, err
+	var fams []throughputFamily
+	for _, fam := range allFams {
+		if keep[fam.label] {
+			fams = append(fams, fam)
 		}
-		out.AddRow(dev.Name, "dense", dense.Throughput, dense.HitRate)
-		for _, fam := range fams {
-			if !keep[fam.label] {
-				continue
-			}
-			pts, err := operatingPoints(l, name, fam, dev, cache.PolicyLFU)
+	}
+	// The full (device × method) grid fans out: every cell owns its cache
+	// and meter, and rows are emitted in index order afterwards.
+	type cellRes struct {
+		dense eval.Point
+		pts   []eval.Point
+	}
+	cols := 1 + len(fams)
+	grid := make([]cellRes, len(devices)*cols)
+	err := forEach(len(grid), func(i int) error {
+		dev := devices[i/cols]
+		mi := i % cols
+		if mi == 0 {
+			dense, err := densePoint(l, name, dev)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			grid[i].dense = dense
+			return nil
+		}
+		pts, err := operatingPoints(l, name, fams[mi-1], dev, cache.PolicyLFU)
+		if err != nil {
+			return err
+		}
+		grid[i].pts = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dev := range devices {
+		dense := grid[di*cols].dense
+		out.AddRow(dev.Name, "dense", dense.Throughput, dense.HitRate)
+		for fi, fam := range fams {
+			pts := grid[di*cols+1+fi].pts
 			best, ok := eval.BestThroughput(pts, dense.PPL+0.5*pplScale(dense.PPL))
 			if !ok {
 				out.AddRow(dev.Name, fam.label, "-", "-")

@@ -15,8 +15,13 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// mlpTokenGrain is the minimum tokens per parallel block in the dense
+// inference loops (matches the nn package's sequence-loop granularity).
+const mlpTokenGrain = 4
 
 // Config describes a model architecture.
 type Config struct {
@@ -119,37 +124,83 @@ func (m *Model) StaticWeightCount() int {
 // be added to the residual stream.
 type MLPHook func(layer int, x tensor.Vec) tensor.Vec
 
+// fwdScratch is one worker's reusable buffers for the dense token loops of
+// Forward: the post-norm input, the MLP intermediates, and the MLP output.
+type fwdScratch struct {
+	buf, out tensor.Vec
+	mlp      nn.MLPScratch
+}
+
 // Forward computes logits for every position with optional MLP hook. It is
 // the inference path: activations are not retained for backprop.
+//
+// With a nil hook (the dense model) the per-layer MLP loop and the head
+// projection fan out across the worker pool with per-worker scratch, making
+// the hot path free of per-token allocations. With a hook the MLP loop
+// stays strictly sequential in token order: hooks that carry state across
+// tokens (the DRAM cache of DIP-CA, trace recorders, density meters) must
+// observe the same order a real decoder would.
 func (m *Model) Forward(ids []int, hook MLPHook) []tensor.Vec {
 	xs := m.Embed.Forward(ids)
-	buf := tensor.NewVec(m.Cfg.Dim)
+	n := len(xs)
+	nw := parallel.Workers(n, mlpTokenGrain)
+	scr := make([]fwdScratch, nw)
+	var hookBuf tensor.Vec
+	if hook != nil {
+		hookBuf = tensor.NewVec(m.Cfg.Dim)
+	}
 	for l, b := range m.Blocks {
-		normed := make([]tensor.Vec, len(xs))
-		for t, x := range xs {
-			normed[t] = b.Norm1.Apply(x, nil)
-		}
+		normed := make([]tensor.Vec, n)
+		parallel.For(n, mlpTokenGrain, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				normed[t] = b.Norm1.Apply(xs[t], nil)
+			}
+		})
 		attnOut, _ := b.Attn.Forward(normed)
 		for t := range xs {
 			xs[t].Add(attnOut[t])
 		}
-		for _, x := range xs {
-			b.Norm2.Apply(x, buf)
-			var out tensor.Vec
-			if hook != nil {
-				out = hook(l, buf)
-			} else {
-				out = b.MLP.Apply(buf)
+		if hook != nil {
+			for _, x := range xs {
+				b.Norm2.Apply(x, hookBuf)
+				x.Add(hook(l, hookBuf))
 			}
-			x.Add(out)
+			continue
 		}
+		parallel.ForWorker(n, mlpTokenGrain, func(w, lo, hi int) {
+			s := workerScratch(scr, w, m.Cfg.Dim)
+			for t := lo; t < hi; t++ {
+				b.Norm2.Apply(xs[t], s.buf)
+				b.MLP.ApplyInto(s.buf, s.out, &s.mlp)
+				xs[t].Add(s.out)
+			}
+		})
 	}
-	logits := make([]tensor.Vec, len(xs))
-	for t, x := range xs {
-		m.NormF.Apply(x, buf)
-		logits[t] = m.Head.Apply(buf, nil)
-	}
+	logits := make([]tensor.Vec, n)
+	parallel.ForWorker(n, mlpTokenGrain, func(w, lo, hi int) {
+		s := workerScratch(scr, w, m.Cfg.Dim)
+		for t := lo; t < hi; t++ {
+			m.NormF.Apply(xs[t], s.buf)
+			logits[t] = m.Head.Apply(s.buf, nil)
+		}
+	})
 	return logits
+}
+
+// workerScratch returns worker w's scratch slot, sized on first use. A
+// worker id beyond the slice (possible only if the pool is resized while a
+// Forward is in flight — SetProcs is documented safe concurrently with For)
+// gets a private throwaway scratch rather than an out-of-range panic.
+func workerScratch(scr []fwdScratch, w, dim int) *fwdScratch {
+	s := &fwdScratch{}
+	if w < len(scr) {
+		s = &scr[w]
+	}
+	if s.buf == nil {
+		s.buf = tensor.NewVec(dim)
+		s.out = tensor.NewVec(dim)
+	}
+	return s
 }
 
 // Decoder performs incremental token-by-token decoding with per-layer KV
@@ -159,6 +210,10 @@ type Decoder struct {
 	caches []*nn.KVCache
 	pos    int
 	hook   MLPHook
+	// Per-session scratch: decoding is sequential by nature, so one set of
+	// buffers serves every step without reallocation.
+	buf, out tensor.Vec
+	mlp      nn.MLPScratch
 }
 
 // NewDecoder returns a fresh decoding session.
@@ -167,7 +222,13 @@ func (m *Model) NewDecoder(hook MLPHook) *Decoder {
 	for i := range caches {
 		caches[i] = &nn.KVCache{}
 	}
-	return &Decoder{m: m, caches: caches, hook: hook}
+	return &Decoder{
+		m:      m,
+		caches: caches,
+		hook:   hook,
+		buf:    tensor.NewVec(m.Cfg.Dim),
+		out:    tensor.NewVec(m.Cfg.Dim),
+	}
 }
 
 // Pos returns the number of tokens consumed so far.
@@ -181,7 +242,7 @@ func (d *Decoder) Step(id int) tensor.Vec {
 	}
 	x := d.m.Embed.At(id, d.pos)
 	d.pos++
-	buf := tensor.NewVec(d.m.Cfg.Dim)
+	buf := d.buf
 	for l, b := range d.m.Blocks {
 		b.Norm1.Apply(x, buf)
 		attnOut := b.Attn.Step(buf, d.caches[l])
@@ -191,7 +252,7 @@ func (d *Decoder) Step(id int) tensor.Vec {
 		if d.hook != nil {
 			out = d.hook(l, buf)
 		} else {
-			out = b.MLP.Apply(buf)
+			out = b.MLP.ApplyInto(buf, d.out, &d.mlp)
 		}
 		x.Add(out)
 	}

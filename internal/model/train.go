@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -76,20 +77,51 @@ func Train(m *Model, tokens []int, opts TrainOpts) (float64, error) {
 // optional MLP hook) over the token stream, chunked into windows of
 // winLen tokens. Predictions use each window's tokens 1..n; the first
 // token of each window is context only.
+//
+// Windows are independent for the dense model, so with a nil hook they fan
+// out across the worker pool; per-window partial sums are reduced in window
+// order, making the result bit-identical for any worker count. Hooked
+// evaluation stays sequential — hooks may carry state across tokens.
 func Perplexity(m *Model, tokens []int, winLen int, hook MLPHook) float64 {
 	if winLen >= m.Cfg.MaxSeq {
 		winLen = m.Cfg.MaxSeq
 	}
-	var totalCE float64
-	var count int
-	for start := 0; start+winLen <= len(tokens); start += winLen {
-		ids := tokens[start : start+winLen]
+	nWin := 0
+	if winLen > 0 {
+		nWin = len(tokens) / winLen
+	}
+	if nWin == 0 {
+		return 0
+	}
+	ces := make([]float64, nWin)
+	counts := make([]int, nWin)
+	window := func(w int) {
+		ids := tokens[w*winLen : (w+1)*winLen]
 		logits := m.Forward(ids, hook)
+		var ce float64
 		for t := 0; t+1 < len(ids); t++ {
 			lse := tensor.LogSumExp(logits[t])
-			totalCE += lse - float64(logits[t][ids[t+1]])
-			count++
+			ce += lse - float64(logits[t][ids[t+1]])
+			counts[w]++
 		}
+		ces[w] = ce
+	}
+	if hook == nil {
+		parallel.For(nWin, 1, func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				window(w)
+			}
+		})
+	} else {
+		for w := 0; w < nWin; w++ {
+			window(w)
+		}
+	}
+	var totalCE float64
+	var count int
+	for w := 0; w < nWin; w++ {
+		totalCE += ces[w]
+		count += counts[w]
 	}
 	if count == 0 {
 		return 0

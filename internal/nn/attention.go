@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -59,52 +60,60 @@ type attnCtx struct {
 	cat        []tensor.Vec   // concatenated head contexts per t
 }
 
-// Forward runs causal attention over the sequence.
+// Forward runs causal attention over the sequence. The projection loop and
+// the per-position attention loop both fan out over the worker pool: every
+// position writes only its own slots (qs/ks/vs[t], probs[t], cat[t], ys[t])
+// and reads earlier positions' projections, which are complete before the
+// second loop starts, so results are bit-identical to a serial run.
 func (a *Attention) Forward(xs []tensor.Vec) (ys []tensor.Vec, ctx *attnCtx) {
 	T := len(xs)
 	c := &attnCtx{xs: xs}
 	c.qs = make([]tensor.Vec, T)
 	c.ks = make([]tensor.Vec, T)
 	c.vs = make([]tensor.Vec, T)
-	for t, x := range xs {
-		c.qs[t] = tensor.MatVec(a.Wq.P.W, x, nil)
-		c.ks[t] = tensor.MatVec(a.Wk.P.W, x, nil)
-		c.vs[t] = tensor.MatVec(a.Wv.P.W, x, nil)
-	}
+	parallel.For(T, tokenGrain, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			c.qs[t] = tensor.MatVec(a.Wq.P.W, xs[t], nil)
+			c.ks[t] = tensor.MatVec(a.Wk.P.W, xs[t], nil)
+			c.vs[t] = tensor.MatVec(a.Wv.P.W, xs[t], nil)
+		}
+	})
 	group := a.NHeads / a.NKV
 	hd := a.HeadDim
 	c.probs = make([][]tensor.Vec, T)
 	c.cat = make([]tensor.Vec, T)
 	ys = make([]tensor.Vec, T)
-	for t := 0; t < T; t++ {
-		c.probs[t] = make([]tensor.Vec, a.NHeads)
-		cat := tensor.NewVec(a.NHeads * hd)
-		for h := 0; h < a.NHeads; h++ {
-			g := h / group
-			q := c.qs[t][h*hd : (h+1)*hd]
-			scores := tensor.NewVec(t + 1)
-			for s := 0; s <= t; s++ {
-				k := c.ks[s][g*hd : (g+1)*hd]
-				var dot float32
-				for i := 0; i < hd; i++ {
-					dot += q[i] * k[i]
+	parallel.For(T, tokenGrain, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			c.probs[t] = make([]tensor.Vec, a.NHeads)
+			cat := tensor.NewVec(a.NHeads * hd)
+			for h := 0; h < a.NHeads; h++ {
+				g := h / group
+				q := c.qs[t][h*hd : (h+1)*hd]
+				scores := tensor.NewVec(t + 1)
+				for s := 0; s <= t; s++ {
+					k := c.ks[s][g*hd : (g+1)*hd]
+					var dot float32
+					for i := 0; i < hd; i++ {
+						dot += q[i] * k[i]
+					}
+					scores[s] = dot * a.scale
 				}
-				scores[s] = dot * a.scale
-			}
-			p := tensor.Softmax(scores, scores)
-			c.probs[t][h] = p
-			out := cat[h*hd : (h+1)*hd]
-			for s := 0; s <= t; s++ {
-				v := c.vs[s][g*hd : (g+1)*hd]
-				ps := p[s]
-				for i := 0; i < hd; i++ {
-					out[i] += ps * v[i]
+				p := tensor.Softmax(scores, scores)
+				c.probs[t][h] = p
+				out := cat[h*hd : (h+1)*hd]
+				for s := 0; s <= t; s++ {
+					v := c.vs[s][g*hd : (g+1)*hd]
+					ps := p[s]
+					for i := 0; i < hd; i++ {
+						out[i] += ps * v[i]
+					}
 				}
 			}
+			c.cat[t] = cat
+			ys[t] = tensor.MatVec(a.Wo.P.W, cat, nil)
 		}
-		c.cat[t] = cat
-		ys[t] = tensor.MatVec(a.Wo.P.W, cat, nil)
-	}
+	})
 	return ys, c
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -29,12 +30,15 @@ func (l *Linear) Apply(x, out tensor.Vec) tensor.Vec {
 }
 
 // Forward maps each vector of the sequence and returns the outputs along
-// with the retained inputs needed by Backward.
+// with the retained inputs needed by Backward. Tokens fan out over the
+// worker pool (disjoint output slots, bit-identical to serial).
 func (l *Linear) Forward(xs []tensor.Vec) (ys []tensor.Vec, ctx []tensor.Vec) {
 	ys = make([]tensor.Vec, len(xs))
-	for t, x := range xs {
-		ys[t] = tensor.MatVec(l.P.W, x, nil)
-	}
+	parallel.For(len(xs), tokenGrain, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			ys[t] = tensor.MatVec(l.P.W, xs[t], nil)
+		}
+	})
 	return ys, xs
 }
 

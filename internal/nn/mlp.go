@@ -3,8 +3,14 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// tokenGrain is the minimum tokens per parallel block in sequence loops: a
+// token's MLP/attention work is tens of microseconds at analog scale, so a
+// few tokens per block amortize the scheduling cost.
+const tokenGrain = 4
 
 // Activation selects the MLP non-linearity σ in GLU(x) = W_u x ⊙ σ(W_g x).
 type Activation int
@@ -68,25 +74,53 @@ func (m *GLUMLP) Params() []*Param {
 	return []*Param{m.Up.P, m.Gate.P, m.Down.P}
 }
 
+// MLPScratch holds the reusable intermediate buffers of one dense GLU-MLP
+// evaluation. A zero value is ready to use; buffers are sized lazily on
+// first call. One scratch must not be shared across concurrent callers —
+// per-worker arenas hand each worker its own.
+type MLPScratch struct {
+	U, G, H tensor.Vec
+}
+
 // GLU computes the intermediate activations W_u x ⊙ σ(W_g x) for a single
 // vector into out (allocated when nil). Used by calibration and the
 // sparsity oracles.
 func (m *GLUMLP) GLU(x, out tensor.Vec) tensor.Vec {
-	u := tensor.MatVec(m.Up.P.W, x, nil)
-	g := tensor.MatVec(m.Gate.P.W, x, nil)
+	return m.GLUInto(x, out, nil)
+}
+
+// GLUInto is GLU with caller-owned scratch for the two projection buffers,
+// eliminating the per-token allocations of the dense hot path. s may be nil.
+func (m *GLUMLP) GLUInto(x, out tensor.Vec, s *MLPScratch) tensor.Vec {
+	var local MLPScratch
+	if s == nil {
+		s = &local
+	}
+	s.U = tensor.MatVec(m.Up.P.W, x, tensor.Reuse(s.U, m.DFF))
+	s.G = tensor.MatVec(m.Gate.P.W, x, tensor.Reuse(s.G, m.DFF))
 	if out == nil {
 		out = tensor.NewVec(m.DFF)
 	}
 	for i := range out {
-		out[i] = u[i] * m.Act.Apply(g[i])
+		out[i] = s.U[i] * m.Act.Apply(s.G[i])
 	}
 	return out
 }
 
 // Apply computes the dense MLP output for a single vector.
 func (m *GLUMLP) Apply(x tensor.Vec) tensor.Vec {
-	h := m.GLU(x, nil)
-	return tensor.MatVec(m.Down.P.W, h, nil)
+	return m.ApplyInto(x, nil, nil)
+}
+
+// ApplyInto is Apply with a caller-provided output buffer and scratch;
+// either may be nil. With both non-nil the dense forward is allocation-free.
+func (m *GLUMLP) ApplyInto(x, out tensor.Vec, s *MLPScratch) tensor.Vec {
+	var local MLPScratch
+	if s == nil {
+		s = &local
+	}
+	s.H = m.GLUInto(x, tensor.Reuse(s.H, m.DFF), s)
+	return tensor.MatVec(m.Down.P.W, s.H, out)
 }
 
 // mlpCtx retains per-position intermediates for Backward.
@@ -94,34 +128,45 @@ type mlpCtx struct {
 	x, u, g, h tensor.Vec
 }
 
-// Forward evaluates the block over a sequence.
+// Forward evaluates the block over a sequence. Tokens are independent, so
+// the loop fans out over the worker pool; every per-token intermediate is
+// retained for Backward, so outputs are written to disjoint slots and
+// results are bit-identical to a serial run.
 func (m *GLUMLP) Forward(xs []tensor.Vec) (ys []tensor.Vec, ctx []mlpCtx) {
 	ys = make([]tensor.Vec, len(xs))
 	ctx = make([]mlpCtx, len(xs))
-	for t, x := range xs {
-		u := tensor.MatVec(m.Up.P.W, x, nil)
-		g := tensor.MatVec(m.Gate.P.W, x, nil)
-		h := tensor.NewVec(m.DFF)
-		for i := range h {
-			h[i] = u[i] * m.Act.Apply(g[i])
+	parallel.For(len(xs), tokenGrain, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			x := xs[t]
+			u := tensor.MatVec(m.Up.P.W, x, nil)
+			g := tensor.MatVec(m.Gate.P.W, x, nil)
+			h := tensor.NewVec(m.DFF)
+			for i := range h {
+				h[i] = u[i] * m.Act.Apply(g[i])
+			}
+			ys[t] = tensor.MatVec(m.Down.P.W, h, nil)
+			ctx[t] = mlpCtx{x: x, u: u, g: g, h: h}
 		}
-		ys[t] = tensor.MatVec(m.Down.P.W, h, nil)
-		ctx[t] = mlpCtx{x: x, u: u, g: g, h: h}
-	}
+	})
 	return ys, ctx
 }
 
-// Backward accumulates weight gradients and returns input gradients.
+// Backward accumulates weight gradients and returns input gradients. The
+// token loop stays serial so gradients accumulate into the parameters in a
+// fixed order (bit-reproducible training); the per-token scratch vectors
+// are reused across iterations instead of reallocated.
 func (m *GLUMLP) Backward(dys []tensor.Vec, ctx []mlpCtx) []tensor.Vec {
 	dxs := make([]tensor.Vec, len(dys))
+	dh := tensor.NewVec(m.DFF)
+	du := tensor.NewVec(m.DFF)
+	dg := tensor.NewVec(m.DFF)
 	for t, dy := range dys {
 		c := ctx[t]
 		// Down projection.
 		tensor.AddOuter(m.Down.P.G, 1, dy, c.h)
-		dh := tensor.MatTVec(m.Down.P.W, dy, nil)
+		dh.Zero()
+		tensor.MatTVec(m.Down.P.W, dy, dh)
 		// Gate product.
-		du := tensor.NewVec(m.DFF)
-		dg := tensor.NewVec(m.DFF)
 		for i := range dh {
 			act := m.Act.Apply(c.g[i])
 			du[i] = dh[i] * act

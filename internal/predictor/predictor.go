@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
 )
@@ -144,6 +145,7 @@ func Train(m *model.Model, tokens []int, win int, opts TrainOpts) *Set {
 	}
 	samples := make([][]sample, L)
 	count := 0
+	scratch := tensor.NewVec(m.Cfg.DFF) // reused |GLU| score buffer
 	hook := func(layer int, x tensor.Vec) tensor.Vec {
 		mlp := m.Blocks[layer].MLP
 		if layer == 0 {
@@ -162,14 +164,14 @@ func Train(m *model.Model, tokens []int, win int, opts TrainOpts) *Set {
 					}
 				}
 				if !anyActive {
-					target = tensor.TopKAbsMask(h, 1)
+					target = tensor.TopKAbsMask(h, 1, scratch)
 				}
 			} else {
 				k := int(opts.TopFrac*float64(len(h)) + 0.5)
 				if k < 1 {
 					k = 1
 				}
-				target = tensor.TopKAbsMask(h, k)
+				target = tensor.TopKAbsMask(h, k, scratch)
 			}
 			samples[layer] = append(samples[layer], sample{x: x.Clone(), target: target})
 			return tensor.MatVec(mlp.Down.P.W, h, nil)
@@ -179,20 +181,34 @@ func Train(m *model.Model, tokens []int, win int, opts TrainOpts) *Set {
 	for start := 0; start+win <= len(tokens) && count < opts.MaxTokens; start += win {
 		m.Forward(tokens[start:start+win], hook)
 	}
-	set := &Set{TopFrac: opts.TopFrac}
+	// Pre-draw every layer's init stream and epoch permutations serially —
+	// the exact order the sequential implementation consumed the parent RNG —
+	// so per-layer training can fan out across workers while remaining
+	// bit-identical to a serial run.
+	set := &Set{TopFrac: opts.TopFrac, Per: make([]*Predictor, L)}
+	inits := make([]*tensor.RNG, L)
+	perms := make([][][]int, L)
 	for l := 0; l < L; l++ {
-		p := NewPredictor(l, m.Cfg.Dim, opts.Hidden, m.Cfg.DFF, rng.Split(uint64(l)))
-		opt := nn.NewAdam(opts.LR)
+		inits[l] = rng.Split(uint64(l))
+		perms[l] = make([][]int, opts.Epochs)
 		for ep := 0; ep < opts.Epochs; ep++ {
-			perm := rng.Perm(len(samples[l]))
-			for _, i := range perm {
-				s := samples[l][i]
-				p.trainStep(s.x, s.target)
-				opt.Step(p.Params(), 1)
-			}
+			perms[l][ep] = rng.Perm(len(samples[l]))
 		}
-		set.Per = append(set.Per, p)
 	}
+	parallel.For(L, 1, func(lo, hi int) {
+		for l := lo; l < hi; l++ {
+			p := NewPredictor(l, m.Cfg.Dim, opts.Hidden, m.Cfg.DFF, inits[l])
+			opt := nn.NewAdam(opts.LR)
+			for ep := 0; ep < opts.Epochs; ep++ {
+				for _, i := range perms[l][ep] {
+					s := samples[l][i]
+					p.trainStep(s.x, s.target)
+					opt.Step(p.Params(), 1)
+				}
+			}
+			set.Per[l] = p
+		}
+	})
 	return set
 }
 
@@ -220,6 +236,7 @@ func RecallAtK(m *model.Model, s *Set, tokens []int, win int, rho float64, maxTo
 	var total float64
 	var n int
 	count := 0
+	scratch := tensor.NewVec(m.Cfg.DFF)
 	hook := func(layer int, x tensor.Vec) tensor.Vec {
 		mlp := m.Blocks[layer].MLP
 		if layer == 0 {
@@ -231,7 +248,7 @@ func RecallAtK(m *model.Model, s *Set, tokens []int, win int, rho float64, maxTo
 			if k < 1 {
 				k = 1
 			}
-			truth := tensor.TopKAbsMask(h, k)
+			truth := tensor.TopKAbsMask(h, k, scratch)
 			predIdx := tensor.TopKIndices(s.Per[layer].Score(x), k)
 			hit := 0
 			for _, i := range predIdx {

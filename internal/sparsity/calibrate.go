@@ -50,6 +50,18 @@ type GLUThreshold struct {
 // Name implements Scheme.
 func (s *GLUThreshold) Name() string { return "glu-threshold-" + s.Mode.String() }
 
+// CloneStateless implements StatefulScheme: the clone shares the calibrated
+// thresholds (read-only) but records its own LastDensity, so concurrent
+// evaluations never write the same slice. Callers wanting the per-layer
+// densities must read them from the instance they actually ran.
+func (s *GLUThreshold) CloneStateless() Scheme {
+	c := &GLUThreshold{Mode: s.Mode, Global: s.Global, PerLayer: s.PerLayer, Rho: s.Rho}
+	if s.LastDensity != nil {
+		c.LastDensity = make([]float64, len(s.LastDensity))
+	}
+	return c
+}
+
 // Forward implements Scheme.
 func (s *GLUThreshold) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
 	h := mlp.GLU(x, nil)

@@ -28,8 +28,14 @@ type DIP struct {
 	// CacheAware names the scheme "dip-ca" and enables re-weighting.
 	CacheAware bool
 
-	// scratch buffers reused across calls (schemes are used sequentially).
-	scoreIn, scoreGLU, u, g, h tensor.Vec
+	// scratch buffers reused across calls (schemes are used sequentially;
+	// parallel evaluations give each worker its own copy via Clone).
+	scoreIn, scoreGLU, u, g, h, y tensor.Vec
+}
+
+// CloneStateless implements StatefulScheme.
+func (s *DIP) CloneStateless() Scheme {
+	return &DIP{RhoIn: s.RhoIn, RhoGLU: s.RhoGLU, Gamma: s.Gamma, CacheAware: s.CacheAware}
 }
 
 // NewDIP returns plain DIP with the density allocation for the target MLP
@@ -106,19 +112,16 @@ func (s *DIP) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, cache CacheView) 
 	s.reweight(s.scoreGLU, layer, GroupDown, cache)
 	kGLU := keepCount(s.RhoGLU, dff)
 	gluIdx := tensor.TopKIndices(s.scoreGLU, kGLU)
-	y := tensor.MatVecSparse(mlp.Down.P.W, s.h, gluIdx, nil)
+	s.y = resize(s.y, dim)
+	y := tensor.MatVecSparse(mlp.Down.P.W, s.h, gluIdx, s.y)
 	var ta TokenAccess
 	ta.Groups[GroupUpGate] = GroupAccess{Kind: AccessSparse, Units: inIdx}
 	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: gluIdx}
 	return y, ta
 }
 
-func resize(v tensor.Vec, n int) tensor.Vec {
-	if len(v) != n {
-		return tensor.NewVec(n)
-	}
-	return v
-}
+// resize is the package-local shorthand for tensor.Reuse.
+func resize(v tensor.Vec, n int) tensor.Vec { return tensor.Reuse(v, n) }
 
 // AllocateDIP maps a target MLP density ρ to the per-group keep fractions
 // (ρ_in for the W_u/W_g columns, ρ_glu for the W_d columns) subject to

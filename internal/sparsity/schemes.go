@@ -14,22 +14,31 @@ import (
 type GLUPrune struct {
 	// RhoGLU is the fraction of GLU activations kept.
 	RhoGLU float64
+
+	// scratch reused across calls (schemes are used sequentially; parallel
+	// evaluations give each worker its own copy via Clone).
+	h, score, y tensor.Vec
+	glu         nn.MLPScratch
 }
 
 // Name implements Scheme.
 func (s *GLUPrune) Name() string { return "glu" }
 
+// CloneStateless implements StatefulScheme.
+func (s *GLUPrune) CloneStateless() Scheme { return &GLUPrune{RhoGLU: s.RhoGLU} }
+
 // Forward implements Scheme.
 func (s *GLUPrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
-	h := mlp.GLU(x, nil)
+	s.h = mlp.GLUInto(x, resize(s.h, mlp.DFF), &s.glu)
 	k := keepCount(s.RhoGLU, mlp.DFF)
-	idx := tensor.TopKIndices(absScores(h, nil), k)
-	y := tensor.MatVecSparse(mlp.Down.P.W, h, idx, nil)
+	s.score = absScores(s.h, resize(s.score, mlp.DFF))
+	idx := tensor.TopKIndices(s.score, k)
+	s.y = tensor.MatVecSparse(mlp.Down.P.W, s.h, idx, resize(s.y, mlp.Dim))
 	var ta TokenAccess
 	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
 	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
 	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
-	return y, ta
+	return s.y, ta
 }
 
 // GLUOracle is "GLU pruning (oracle)": identical output to GLUPrune, but
@@ -39,22 +48,29 @@ func (s *GLUPrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (te
 type GLUOracle struct {
 	// Rho is the fraction of GLU units kept (equals the MLP density).
 	Rho float64
+
+	h, score, y tensor.Vec
+	glu         nn.MLPScratch
 }
 
 // Name implements Scheme.
 func (s *GLUOracle) Name() string { return "glu-oracle" }
 
+// CloneStateless implements StatefulScheme.
+func (s *GLUOracle) CloneStateless() Scheme { return &GLUOracle{Rho: s.Rho} }
+
 // Forward implements Scheme.
 func (s *GLUOracle) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
-	h := mlp.GLU(x, nil)
+	s.h = mlp.GLUInto(x, resize(s.h, mlp.DFF), &s.glu)
 	k := keepCount(s.Rho, mlp.DFF)
-	idx := tensor.TopKIndices(absScores(h, nil), k)
-	y := tensor.MatVecSparse(mlp.Down.P.W, h, idx, nil)
+	s.score = absScores(s.h, resize(s.score, mlp.DFF))
+	idx := tensor.TopKIndices(s.score, k)
+	s.y = tensor.MatVecSparse(mlp.Down.P.W, s.h, idx, resize(s.y, mlp.Dim))
 	var ta TokenAccess
 	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
 	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessSparse, Units: idx}
 	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
-	return y, ta
+	return s.y, ta
 }
 
 // GatePrune is "Gate pruning" (Figure 5b / Eq. 5): evaluate σ(W_g x)
@@ -63,36 +79,45 @@ func (s *GLUOracle) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (t
 type GatePrune struct {
 	// Rho is the fraction of intermediate units kept.
 	Rho float64
+
+	g, score, y tensor.Vec
 }
 
 // Name implements Scheme.
 func (s *GatePrune) Name() string { return "gate" }
 
+// CloneStateless implements StatefulScheme.
+func (s *GatePrune) CloneStateless() Scheme { return &GatePrune{Rho: s.Rho} }
+
 // Forward implements Scheme.
 func (s *GatePrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
-	g := tensor.MatVec(mlp.Gate.P.W, x, nil)
-	scores := tensor.NewVec(mlp.DFF)
-	for i, v := range g {
+	s.g = tensor.MatVec(mlp.Gate.P.W, x, resize(s.g, mlp.DFF))
+	s.score = resize(s.score, mlp.DFF)
+	for i, v := range s.g {
 		a := mlp.Act.Apply(v)
 		if a < 0 {
 			a = -a
 		}
-		scores[i] = a
+		s.score[i] = a
 	}
 	k := keepCount(s.Rho, mlp.DFF)
-	idx := tensor.TopKIndices(scores, k)
-	y := sparseRowsOutput(mlp, x, g, idx)
+	idx := tensor.TopKIndices(s.score, k)
+	s.y = sparseRowsOutput(mlp, x, s.g, idx, resize(s.y, mlp.Dim))
 	var ta TokenAccess
 	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
 	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
 	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
-	return y, ta
+	return s.y, ta
 }
 
 // sparseRowsOutput computes Σ_{i∈idx} W_d[:,i] · (W_u[i,:]·x) · σ(g_i)
-// given precomputed gate pre-activations g.
-func sparseRowsOutput(mlp *nn.GLUMLP, x, g tensor.Vec, idx []int) tensor.Vec {
-	y := tensor.NewVec(mlp.Dim)
+// given precomputed gate pre-activations g, into out (allocated when nil).
+func sparseRowsOutput(mlp *nn.GLUMLP, x, g tensor.Vec, idx []int, out tensor.Vec) tensor.Vec {
+	if out == nil {
+		out = tensor.NewVec(mlp.Dim)
+	} else {
+		out.Zero()
+	}
 	wd := mlp.Down.P.W
 	for _, i := range idx {
 		u := tensor.Vec(mlp.Up.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)
@@ -101,10 +126,10 @@ func sparseRowsOutput(mlp *nn.GLUMLP, x, g tensor.Vec, idx []int) tensor.Vec {
 			continue
 		}
 		for r := 0; r < mlp.Dim; r++ {
-			y[r] += wd.Data[r*mlp.DFF+i] * hi
+			out[r] += wd.Data[r*mlp.DFF+i] * hi
 		}
 	}
-	return y
+	return out
 }
 
 // UpPrune is "Up pruning": the mirror of GatePrune — evaluate W_u x
@@ -112,21 +137,29 @@ func sparseRowsOutput(mlp *nn.GLUMLP, x, g tensor.Vec, idx []int) tensor.Vec {
 type UpPrune struct {
 	// Rho is the fraction of intermediate units kept.
 	Rho float64
+
+	u, score, y tensor.Vec
 }
 
 // Name implements Scheme.
 func (s *UpPrune) Name() string { return "up" }
 
+// CloneStateless implements StatefulScheme.
+func (s *UpPrune) CloneStateless() Scheme { return &UpPrune{Rho: s.Rho} }
+
 // Forward implements Scheme.
 func (s *UpPrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
-	u := tensor.MatVec(mlp.Up.P.W, x, nil)
+	s.u = tensor.MatVec(mlp.Up.P.W, x, resize(s.u, mlp.DFF))
 	k := keepCount(s.Rho, mlp.DFF)
-	idx := tensor.TopKIndices(absScores(u, nil), k)
-	y := tensor.NewVec(mlp.Dim)
+	s.score = absScores(s.u, resize(s.score, mlp.DFF))
+	idx := tensor.TopKIndices(s.score, k)
+	s.y = resize(s.y, mlp.Dim)
+	y := s.y
+	y.Zero()
 	wd := mlp.Down.P.W
 	for _, i := range idx {
 		gi := tensor.Vec(mlp.Gate.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)
-		hi := u[i] * mlp.Act.Apply(gi)
+		hi := s.u[i] * mlp.Act.Apply(gi)
 		if hi == 0 {
 			continue
 		}
@@ -147,10 +180,16 @@ func (s *UpPrune) Forward(_ int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (ten
 type CATS struct {
 	// Thresholds holds one calibrated threshold per layer.
 	Thresholds []float32
+
+	g, y tensor.Vec
 }
 
 // Name implements Scheme.
 func (s *CATS) Name() string { return "cats" }
+
+// CloneStateless implements StatefulScheme; the calibrated thresholds are
+// shared (read-only during Forward).
+func (s *CATS) CloneStateless() Scheme { return &CATS{Thresholds: s.Thresholds} }
 
 // Forward implements Scheme.
 func (s *CATS) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
@@ -158,7 +197,8 @@ func (s *CATS) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (te
 		panic(fmt.Sprintf("sparsity: CATS has %d thresholds, layer %d requested", len(s.Thresholds), layer))
 	}
 	thr := s.Thresholds[layer]
-	g := tensor.MatVec(mlp.Gate.P.W, x, nil)
+	s.g = tensor.MatVec(mlp.Gate.P.W, x, resize(s.g, mlp.DFF))
+	g := s.g
 	idx := make([]int, 0, mlp.DFF/2)
 	for i, v := range g {
 		a := mlp.Act.Apply(v)
@@ -182,12 +222,12 @@ func (s *CATS) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (te
 		}
 		idx = append(idx, best)
 	}
-	y := sparseRowsOutput(mlp, x, g, idx)
+	s.y = sparseRowsOutput(mlp, x, g, idx, resize(s.y, mlp.Dim))
 	var ta TokenAccess
 	ta.Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
 	ta.Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
 	ta.Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
-	return y, ta
+	return s.y, ta
 }
 
 // ScoreFunc produces predictor logits over the dff intermediate units for
@@ -200,22 +240,32 @@ type ScoreFunc func(layer int, x tensor.Vec) tensor.Vec
 type Predictive struct {
 	// Rho is the fraction of intermediate units kept.
 	Rho float64
-	// Score returns predictor logits per unit.
+	// Score returns predictor logits per unit. It must be safe for
+	// concurrent calls (the predictor package's ScoreFunc is pure).
 	Score ScoreFunc
 	// ParamsPerLayer is the predictor parameter count per layer, reported
 	// so memory accounting can include predictor overhead.
 	ParamsPerLayer int
+
+	yScratch tensor.Vec
 }
 
 // Name implements Scheme.
 func (s *Predictive) Name() string { return "dejavu" }
+
+// CloneStateless implements StatefulScheme.
+func (s *Predictive) CloneStateless() Scheme {
+	return &Predictive{Rho: s.Rho, Score: s.Score, ParamsPerLayer: s.ParamsPerLayer}
+}
 
 // Forward implements Scheme.
 func (s *Predictive) Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, _ CacheView) (tensor.Vec, TokenAccess) {
 	scores := s.Score(layer, x)
 	k := keepCount(s.Rho, mlp.DFF)
 	idx := tensor.TopKIndices(scores, k)
-	y := tensor.NewVec(mlp.Dim)
+	s.yScratch = resize(s.yScratch, mlp.Dim)
+	y := s.yScratch
+	y.Zero()
 	wd := mlp.Down.P.W
 	for _, i := range idx {
 		u := tensor.Vec(mlp.Up.P.W.Data[i*mlp.Dim : (i+1)*mlp.Dim]).Dot(x)

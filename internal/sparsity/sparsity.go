@@ -134,6 +134,30 @@ type Scheme interface {
 	Forward(layer int, x tensor.Vec, mlp *nn.GLUMLP, cache CacheView) (tensor.Vec, TokenAccess)
 }
 
+// StatefulScheme is implemented by schemes that carry per-call scratch
+// buffers (and are therefore not safe for concurrent Forward calls). A
+// parallel evaluation clones one such scheme per worker via Clone.
+type StatefulScheme interface {
+	Scheme
+	// CloneStateless returns a copy sharing the scheme's configuration and
+	// calibration but none of its scratch state.
+	CloneStateless() Scheme
+}
+
+// Clone returns a Scheme safe to use from another goroutine: stateful
+// schemes are copied without their scratch, stateless ones are returned
+// as-is. Calibration data (thresholds, predictor weights) is shared — it is
+// read-only during Forward.
+func Clone(s Scheme) Scheme {
+	if s == nil {
+		return nil
+	}
+	if cs, ok := s.(StatefulScheme); ok {
+		return cs.CloneStateless()
+	}
+	return s
+}
+
 // Dense is the no-pruning baseline.
 type Dense struct{}
 

@@ -83,7 +83,7 @@ func TestGLUPruneExactness(t *testing.T) {
 		y, ta := s.Forward(0, x, mlp, nil)
 		// Reference: dense GLU, keep top 6 by |h|, then dense W_d.
 		h := mlp.GLU(x, nil)
-		mask := tensor.TopKAbsMask(h, 6)
+		mask := tensor.TopKAbsMask(h, 6, nil)
 		for i := range h {
 			if !mask[i] {
 				h[i] = 0

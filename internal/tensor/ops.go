@@ -151,8 +151,11 @@ func TopKIndices(score Vec, k int) []int {
 
 // TopKAbsMask returns a boolean mask keeping the k largest-magnitude
 // entries of x. This is the per-token top-K thresholding of Section 3.1.
-func TopKAbsMask(x Vec, k int) []bool {
-	score := NewVec(len(x))
+// scratch, when non-nil and of matching length, holds the |x| scores and is
+// overwritten — callers in per-token loops pass a reused buffer to avoid
+// one allocation per call; pass nil to allocate internally.
+func TopKAbsMask(x Vec, k int, scratch Vec) []bool {
+	score := Reuse(scratch, len(x))
 	for i, v := range x {
 		if v < 0 {
 			score[i] = -v
@@ -168,27 +171,102 @@ func TopKAbsMask(x Vec, k int) []bool {
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of the values using linear
-// interpolation between order statistics. The input is not modified.
+// interpolation between order statistics. The input is not modified. The
+// order statistics are found by quickselect in expected O(n) rather than a
+// full sort; results are identical to the sort-based computation.
 func Quantile(values []float32, q float64) float32 {
-	if len(values) == 0 {
+	n := len(values)
+	if n == 0 {
 		return 0
 	}
-	sorted := make([]float32, len(values))
-	copy(sorted, values)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	if q <= 0 {
-		return sorted[0]
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
 	}
-	pos := q * float64(len(sorted)-1)
+	buf := make([]float32, n)
+	copy(buf, values)
+	pos := q * float64(n-1)
 	lo := int(pos)
 	frac := float32(pos - float64(lo))
-	if lo+1 >= len(sorted) {
-		return sorted[len(sorted)-1]
+	a := selectKth(buf, lo)
+	if lo+1 >= n {
+		return a
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	// selectKth leaves buf[lo+1:] ≥ buf[lo], so the next order statistic is
+	// the minimum of the right partition.
+	b := buf[lo+1]
+	for _, v := range buf[lo+2:] {
+		if v < b {
+			b = v
+		}
+	}
+	return a*(1-frac) + b*frac
+}
+
+// selectKth partially orders buf so buf[k] holds the k-th smallest value,
+// with buf[:k] ≤ buf[k] ≤ buf[k+1:]. Iterative quickselect with
+// median-of-three Hoare partitioning (robust to runs of equal values, e.g.
+// the exact-zero spikes of ReLU activations).
+func selectKth(buf []float32, k int) float32 {
+	lo, hi := 0, len(buf)-1
+	for lo < hi {
+		j := hoarePartition(buf, lo, hi)
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return buf[k]
+}
+
+// hoarePartition partitions buf[lo:hi+1] around a median-of-three pivot and
+// returns j such that buf[lo..j] ≤ pivot ≤ buf[j+1..hi].
+func hoarePartition(buf []float32, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if buf[mid] < buf[lo] {
+		buf[mid], buf[lo] = buf[lo], buf[mid]
+	}
+	if buf[hi] < buf[lo] {
+		buf[hi], buf[lo] = buf[lo], buf[hi]
+	}
+	if buf[hi] < buf[mid] {
+		buf[hi], buf[mid] = buf[mid], buf[hi]
+	}
+	pivot := buf[mid]
+	i, j := lo-1, hi+1
+	for {
+		for {
+			i++
+			if buf[i] >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if buf[j] <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		buf[i], buf[j] = buf[j], buf[i]
+	}
 }
 
 // Histogram buckets values into nbins equal-width bins over [min, max] and

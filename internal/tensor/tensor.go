@@ -3,13 +3,48 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
+
+// parallelFlops is the scalar-multiply count below which the matrix kernels
+// stay on the caller's goroutine. Blocked-range parallel execution only pays
+// for itself on genuinely large operations; the miniature analog matrices
+// (≤ ~12k flops per matvec) always take the serial path, keeping the hot
+// per-token loops free of scheduling overhead. Each parallel block gets at
+// least this much work, so results are bit-identical to serial execution:
+// every output element is produced by the same accumulation order regardless
+// of worker count.
+const parallelFlops = 1 << 15
+
+// rowGrain returns the minimum rows per parallel block so one block carries
+// at least parallelFlops scalar multiplies.
+func rowGrain(cols int) int {
+	if cols < 1 {
+		return parallelFlops
+	}
+	g := parallelFlops / cols
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // Vec is a dense float32 vector.
 type Vec []float32
 
 // NewVec returns a zeroed vector of length n.
 func NewVec(n int) Vec { return make(Vec, n) }
+
+// Reuse returns v when it already has length n, else a fresh zeroed vector.
+// The shared reuse-or-allocate idiom of every scratch buffer in the repo;
+// contents of a reused v are unspecified — callers must overwrite or Zero.
+func Reuse(v Vec, n int) Vec {
+	if len(v) != n {
+		return NewVec(n)
+	}
+	return v
+}
 
 // Clone returns a copy of v.
 func (v Vec) Clone() Vec {
@@ -213,7 +248,18 @@ func MatVec(m *Mat, x Vec, out Vec) Vec {
 	if len(out) != m.Rows {
 		panic("tensor: MatVec out length mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
+	if m.Rows*m.Cols <= parallelFlops {
+		matVecRange(m, x, out, 0, m.Rows)
+		return out
+	}
+	parallel.For(m.Rows, rowGrain(m.Cols), func(lo, hi int) {
+		matVecRange(m, x, out, lo, hi)
+	})
+	return out
+}
+
+func matVecRange(m *Mat, x, out Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float32
 		for j, w := range row {
@@ -221,7 +267,6 @@ func MatVec(m *Mat, x Vec, out Vec) Vec {
 		}
 		out[i] = s
 	}
-	return out
 }
 
 // MatTVec computes out = mᵀ · x where x has length m.Rows and out has
@@ -238,17 +283,31 @@ func MatTVec(m *Mat, x Vec, out Vec) Vec {
 	if len(out) != m.Cols {
 		panic("tensor: MatTVec out length mismatch")
 	}
+	if m.Rows*m.Cols <= parallelFlops {
+		matTVecRange(m, x, out, 0, m.Cols)
+		return out
+	}
+	// Parallelize over disjoint column ranges: each out[j] still accumulates
+	// contributions in ascending-row order, so results match serial exactly.
+	grain := rowGrain(m.Rows)
+	parallel.For(m.Cols, grain, func(jlo, jhi int) {
+		matTVecRange(m, x, out, jlo, jhi)
+	})
+	return out
+}
+
+func matTVecRange(m *Mat, x, out Vec, jlo, jhi int) {
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		row := m.Data[i*m.Cols+jlo : i*m.Cols+jhi]
+		o := out[jlo:jhi]
 		for j, w := range row {
-			out[j] += w * xi
+			o[j] += w * xi
 		}
 	}
-	return out
 }
 
 // AddOuter accumulates alpha * a bᵀ into m, where a has length m.Rows and b
@@ -257,7 +316,17 @@ func AddOuter(m *Mat, alpha float32, a, b Vec) {
 	if len(a) != m.Rows || len(b) != m.Cols {
 		panic("tensor: AddOuter dimension mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
+	if m.Rows*m.Cols <= parallelFlops {
+		addOuterRange(m, alpha, a, b, 0, m.Rows)
+		return
+	}
+	parallel.For(m.Rows, rowGrain(m.Cols), func(lo, hi int) {
+		addOuterRange(m, alpha, a, b, lo, hi)
+	})
+}
+
+func addOuterRange(m *Mat, alpha float32, a, b Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := alpha * a[i]
 		if ai == 0 {
 			continue
@@ -275,7 +344,19 @@ func MatMul(a, b *Mat) *Mat {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
 	out := NewMat(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	work := a.Rows * a.Cols * b.Cols
+	if work <= parallelFlops {
+		matMulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	parallel.For(a.Rows, rowGrain(a.Cols*b.Cols), func(lo, hi int) {
+		matMulRange(a, b, out, lo, hi)
+	})
+	return out
+}
+
+func matMulRange(a, b, out *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k, av := range arow {
@@ -288,7 +369,6 @@ func MatMul(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
 }
 
 // MaskedMatVecCols computes out = m~ · x where m~ keeps only the columns j
@@ -302,7 +382,18 @@ func MaskedMatVecCols(m *Mat, x Vec, active []bool, out Vec) Vec {
 	if out == nil {
 		out = NewVec(m.Rows)
 	}
-	for i := 0; i < m.Rows; i++ {
+	if m.Rows*m.Cols <= parallelFlops {
+		maskedMatVecColsRange(m, x, active, out, 0, m.Rows)
+		return out
+	}
+	parallel.For(m.Rows, rowGrain(m.Cols), func(lo, hi int) {
+		maskedMatVecColsRange(m, x, active, out, lo, hi)
+	})
+	return out
+}
+
+func maskedMatVecColsRange(m *Mat, x Vec, active []bool, out Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float32
 		for j, w := range row {
@@ -312,7 +403,6 @@ func MaskedMatVecCols(m *Mat, x Vec, active []bool, out Vec) Vec {
 		}
 		out[i] = s
 	}
-	return out
 }
 
 // MatVecSparse computes out = m · x using only the input coordinates listed
@@ -326,14 +416,24 @@ func MatVecSparse(m *Mat, x Vec, idx []int, out Vec) Vec {
 		panic("tensor: MatVecSparse out length mismatch")
 	}
 	out.Zero()
+	if m.Rows*len(idx) <= parallelFlops {
+		matVecSparseRange(m, x, idx, out, 0, m.Rows)
+		return out
+	}
+	parallel.For(m.Rows, rowGrain(len(idx)), func(lo, hi int) {
+		matVecSparseRange(m, x, idx, out, lo, hi)
+	})
+	return out
+}
+
+func matVecSparseRange(m *Mat, x Vec, idx []int, out Vec, lo, hi int) {
 	for _, j := range idx {
 		xj := x[j]
 		if xj == 0 {
 			continue
 		}
-		for i := 0; i < m.Rows; i++ {
+		for i := lo; i < hi; i++ {
 			out[i] += m.Data[i*m.Cols+j] * xj
 		}
 	}
-	return out
 }

@@ -441,7 +441,7 @@ func TestTopKIndicesMatchesSort(t *testing.T) {
 }
 
 func TestTopKAbsMask(t *testing.T) {
-	mask := TopKAbsMask(Vec{-5, 1, 3, -2}, 2)
+	mask := TopKAbsMask(Vec{-5, 1, 3, -2}, 2, nil)
 	if !mask[0] || !mask[2] || mask[1] || mask[3] {
 		t.Fatalf("TopKAbsMask = %v", mask)
 	}
