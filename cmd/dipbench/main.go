@@ -9,6 +9,9 @@
 //	dipbench -exp tab1 -ckpt ckpts/   # reuse checkpoints from diptrain
 //	dipbench -exp tab2 -procs 1       # pin the worker pool (serial run)
 //	dipbench -exp tab2 -cpuprofile cpu.out -memprofile mem.out
+//	dipbench -serve                   # multi-stream serving scenario
+//	dipbench -serve -small            # CI-sized serving smoke run
+//	dipbench -serve -seed 42          # reproducible admission order
 //
 // Every run also emits a machine-readable BENCH_results.json (per
 // experiment: wall time in ns and the headline row of each table) into -out
@@ -73,6 +76,9 @@ func run() int {
 		csvOut     = flag.Bool("csv", false, "also write <out>/<id>-<table>.csv for plotting")
 		verbose    = flag.Bool("v", true, "log lab progress to stderr")
 		procs      = flag.Int("procs", 0, "worker-pool size (0 = GOMAXPROCS / $REPRO_PROCS; 1 = serial)")
+		serve      = flag.Bool("serve", false, "run the multi-stream serving scenario (shorthand for -exp serve)")
+		small      = flag.Bool("small", false, "with -serve: CI-sized smoke run (forces -scale test, fewer sessions)")
+		seed       = flag.Uint64("seed", 0, "admission-order seed for the serving scheduler RNG")
 		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -83,6 +89,20 @@ func run() int {
 			fmt.Println(id)
 		}
 		return 0
+	}
+	if *serve {
+		if *exp != "" && *exp != "serve" {
+			fmt.Fprintln(os.Stderr, "dipbench: -serve conflicts with -exp")
+			return 2
+		}
+		*exp = "serve"
+	}
+	if *small {
+		if *exp != "serve" {
+			fmt.Fprintln(os.Stderr, "dipbench: -small only applies to the serving scenario (-serve)")
+			return 2
+		}
+		*scale = "test"
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "dipbench: -exp required (try -list)")
@@ -114,6 +134,8 @@ func run() int {
 	}
 	lab := experiments.NewLab(sc)
 	lab.CheckpointDir = *ckpt
+	lab.ServeSeed = *seed
+	lab.ServeSmoke = *small
 	if *verbose {
 		lab.Log = os.Stderr
 	}

@@ -122,6 +122,9 @@ func (g *GroupCache) Stats() Stats { return g.stats }
 // Resident reports whether unit u is in DRAM.
 func (g *GroupCache) Resident(u int) bool { return g.resident[u] }
 
+// Occupancy returns the number of resident units.
+func (g *GroupCache) Occupancy() int { return g.count }
+
 // SetTrace installs the future access stream for the Belady policy. Each
 // stream element is the sparse unit list of one token's access. It panics
 // for other policies.
@@ -348,6 +351,20 @@ func (mc *ModelCache) Access(layer int, ta *sparsity.TokenAccess) AccessResult {
 		res.MissUnits[g] = m
 	}
 	return res
+}
+
+// Occupancy returns the total resident units across all layers and groups —
+// a full fingerprint of cache fill, used by determinism tests.
+func (mc *ModelCache) Occupancy() int {
+	n := 0
+	for l := range mc.groups {
+		for g := 0; g < int(sparsity.NumGroups); g++ {
+			if gc := mc.groups[l][g]; gc != nil {
+				n += gc.Occupancy()
+			}
+		}
+	}
+	return n
 }
 
 // TotalStats sums statistics over all layers and groups.

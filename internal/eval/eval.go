@@ -6,8 +6,6 @@
 package eval
 
 import (
-	"fmt"
-
 	"repro/internal/cache"
 	"repro/internal/data"
 	"repro/internal/hwsim"
@@ -157,57 +155,20 @@ type SystemConfig struct {
 
 // SystemEvaluate runs the scheme over the token stream with the cache and
 // meter coupled, returning perplexity, measured density, hit rate, and
-// simulated throughput. For the Belady policy it runs a recording pass
-// first and replays the identical stream against the oracle; cache-aware
-// schemes are rejected there because their masks would diverge between
-// passes.
+// simulated throughput. It is a Stream run to completion — the serving
+// engine advances the identical per-token machinery, so a session evaluated
+// alone reproduces this function bit for bit. For the Belady policy the
+// stream construction runs a recording pass first and replays the identical
+// token stream against the oracle; cache-aware schemes are rejected there
+// because their masks would diverge between passes.
 func SystemEvaluate(m *model.Model, s sparsity.Scheme, tokens []int, cfg SystemConfig) (Point, error) {
-	if cfg.MaxTokens > 0 && len(tokens) > cfg.MaxTokens {
-		tokens = tokens[:cfg.MaxTokens]
-	}
-	win := cfg.Win
-	if win == 0 || win > m.Cfg.MaxSeq {
-		win = m.Cfg.MaxSeq
-	}
-	plan, err := hwsim.NewPlan(m, cfg.Device, hwsim.PlanOpts{
-		BytesPerWeight:     cfg.BytesPerWeight,
-		ExtraStaticWeights: cfg.ExtraStaticWeights,
-		Groups:             hwsim.ProbeGroups(s, m),
-	})
+	st, err := NewStream(m, s, tokens, cfg)
 	if err != nil {
 		return Point{}, err
 	}
-	if cfg.Policy == cache.PolicyBelady {
-		if ca, ok := s.(interface{ IsCacheAware() bool }); ok && ca.IsCacheAware() {
-			return Point{}, fmt.Errorf("eval: Belady policy cannot replay a cache-aware scheme")
-		}
-		rec := cache.NewTraceRecorder()
-		recHook := Hook(m, s, HookOpts{Recorder: rec})
-		for start := 0; start+win <= len(tokens); start += win {
-			m.Forward(tokens[start:start+win], recHook)
-		}
-		mc := plan.NewCache(cache.PolicyBelady)
-		mc.SetTraces(rec)
-		return runSystem(m, s, tokens, win, plan, mc)
+	for st.Step() {
 	}
-	mc := plan.NewCache(cfg.Policy)
-	return runSystem(m, s, tokens, win, plan, mc)
-}
-
-func runSystem(m *model.Model, s sparsity.Scheme, tokens []int, win int, plan *hwsim.Plan, mc *cache.ModelCache) (Point, error) {
-	meter := plan.NewMeter()
-	acc := NewDensityAccumulator(m)
-	hook := Hook(m, s, HookOpts{Cache: mc, Meter: meter, Density: acc})
-	ppl := model.Perplexity(m, tokens, win, hook)
-	stats := mc.TotalStats()
-	return Point{
-		Scheme:     s.Name(),
-		Density:    acc.Mean(),
-		PPL:        ppl,
-		Throughput: meter.Throughput(),
-		HitRate:    stats.HitRate(),
-		LatencyS:   meter.Latency(),
-	}, nil
+	return st.Point(), nil
 }
 
 // BestThroughput returns the highest-throughput point whose perplexity is

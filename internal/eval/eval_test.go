@@ -2,6 +2,7 @@ package eval
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -166,6 +167,86 @@ func TestDIPCABeatsDIPThroughputAtSimilarPPL(t *testing.T) {
 	// The accuracy cost of re-weighting must be modest at γ=0.2.
 	if ca.PPL > plain.PPL*1.5 {
 		t.Fatalf("DIP-CA ppl %.3f blew up vs DIP %.3f", ca.PPL, plain.PPL)
+	}
+}
+
+func TestSystemConfigValidateNamesBadField(t *testing.T) {
+	base := SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*SystemConfig)
+		field  string
+	}{
+		{func(c *SystemConfig) { c.Device.DRAMBandwidth = 0 }, "DRAMBandwidth"},
+		{func(c *SystemConfig) { c.Device.FlashBandwidth = -1 }, "FlashBandwidth"},
+		{func(c *SystemConfig) { c.Device.DRAMFraction = 0 }, "DRAMFraction"},
+		{func(c *SystemConfig) { c.Policy = cache.Policy(99) }, "Policy"},
+		{func(c *SystemConfig) { c.BytesPerWeight = -0.5 }, "BytesPerWeight"},
+		{func(c *SystemConfig) { c.ExtraStaticWeights = -1 }, "ExtraStaticWeights"},
+		{func(c *SystemConfig) { c.MaxTokens = -1 }, "MaxTokens"},
+		{func(c *SystemConfig) { c.Win = -1 }, "Win"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("bad %s accepted", tc.field)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Fatalf("error %q does not name field %s", err, tc.field)
+		}
+	}
+	// SystemEvaluate and the serving stream path both enforce validation.
+	if _, err := SystemEvaluate(zoo.m, sparsity.Dense{}, nil, SystemConfig{}); err == nil {
+		t.Fatal("SystemEvaluate accepted a zero SystemConfig")
+	}
+	if _, err := NewStreamWith(zoo.m, sparsity.Dense{}, nil, SystemConfig{}, StreamOpts{}); err == nil {
+		t.Fatal("NewStreamWith accepted a zero SystemConfig")
+	}
+}
+
+// The Stream API is the machinery under SystemEvaluate; stepping one by
+// hand must land on the same point, and its incremental (KV-cached)
+// perplexity must agree with the windowed teacher-forced evaluation.
+func TestStreamStepsMatchSystemEvaluate(t *testing.T) {
+	trained(t)
+	cfg := SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU, MaxTokens: 640}
+	st, err := NewStream(zoo.m, sparsity.NewDIPCA(0.5, 0.2), zoo.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for st.Step() {
+		steps++
+	}
+	if steps != st.TotalTokens() || !st.Done() || st.Pos() != steps {
+		t.Fatalf("stepped %d, total %d, pos %d", steps, st.TotalTokens(), st.Pos())
+	}
+	pt, err := SystemEvaluate(zoo.m, sparsity.NewDIPCA(0.5, 0.2), zoo.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Point() != pt {
+		t.Fatalf("manual stepping %+v != SystemEvaluate %+v", st.Point(), pt)
+	}
+	hits, misses := st.Traffic()
+	if hits <= 0 || misses <= 0 {
+		t.Fatalf("traffic %d/%d", hits, misses)
+	}
+	// Incremental decoding vs teacher-forced windows: same math, only
+	// float accumulation order differs.
+	ppl := model.Perplexity(zoo.m, zoo.test[:640], zoo.m.Cfg.MaxSeq, Hook(zoo.m, sparsity.NewDIP(0.5), HookOpts{}))
+	stDip, err := NewStream(zoo.m, sparsity.NewDIP(0.5), zoo.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stDip.Step() {
+	}
+	if math.Abs(stDip.Point().PPL-ppl)/ppl > 1e-3 {
+		t.Fatalf("incremental ppl %v far from windowed ppl %v", stDip.Point().PPL, ppl)
 	}
 }
 

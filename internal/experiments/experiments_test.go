@@ -284,14 +284,18 @@ func TestFig9Composes(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(IDs()) != 18 {
-		t.Fatalf("expected 18 experiments, got %d: %v", len(IDs()), IDs())
+	if len(IDs()) != 19 {
+		t.Fatalf("expected 19 experiments, got %d: %v", len(IDs()), IDs())
 	}
 	if _, err := Run(sharedLab, "nope"); err == nil {
 		t.Fatal("unknown id should error")
 	}
+	// serve runs at its CI smoke size here; its wall-clock columns vary per
+	// run, so only the structural checks below apply.
+	sharedLab.ServeSmoke = true
+	defer func() { sharedLab.ServeSmoke = false }()
 	// Smoke-run the cheap drivers not covered above through the registry.
-	for _, id := range []string{"tab5", "tab6", "tab7", "fig8", "fig14", "tab3", "tab4", "abl-alloc"} {
+	for _, id := range []string{"tab5", "tab6", "tab7", "fig8", "fig14", "tab3", "tab4", "abl-alloc", "serve"} {
 		tables, err := Run(sharedLab, id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -35,6 +35,12 @@ type Lab struct {
 	CheckpointDir string
 	// Log receives progress lines (nil silences).
 	Log io.Writer
+	// ServeSeed seeds the serving scheduler's admission RNG (dipbench
+	// -seed), making the serve scenario's admission order reproducible.
+	ServeSeed uint64
+	// ServeSmoke shrinks the serve scenario to a CI-sized smoke run
+	// (dipbench -small).
+	ServeSmoke bool
 
 	tok    *data.Tokenizer
 	splits data.Splits

@@ -25,6 +25,7 @@ var registry = map[string]Driver{
 	"tab6":      Table6,
 	"tab7":      Table7,
 	"abl-alloc": AblAlloc,
+	"serve":     Serve,
 }
 
 // IDs lists the registered experiment ids in sorted order.

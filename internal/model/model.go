@@ -234,6 +234,17 @@ func (m *Model) NewDecoder(hook MLPHook) *Decoder {
 // Pos returns the number of tokens consumed so far.
 func (d *Decoder) Pos() int { return d.pos }
 
+// Reset rewinds the decoder to position zero, truncating the KV caches in
+// place and keeping the scratch buffers — a fresh context window without
+// reallocation. The hook and its state carry over.
+func (d *Decoder) Reset() {
+	d.pos = 0
+	for _, c := range d.caches {
+		c.Ks = c.Ks[:0]
+		c.Vs = c.Vs[:0]
+	}
+}
+
 // Step consumes one token id and returns the logits for the next token.
 // It panics when the positional table is exhausted.
 func (d *Decoder) Step(id int) tensor.Vec {

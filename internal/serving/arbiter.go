@@ -1,0 +1,96 @@
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/sparsity"
+)
+
+// ArbPolicy decides how the plan's DRAM cache budget is divided among
+// concurrent sessions.
+type ArbPolicy int
+
+const (
+	// ArbExclusive gives every session the full solo budget (over-committed
+	// — the no-contention upper bound). A session under ArbExclusive is
+	// bit-identical to a solo SystemEvaluate of the same stream.
+	ArbExclusive ArbPolicy = iota
+	// ArbFairShare partitions the budget equally across the batch width:
+	// each session's private cache holds budget/MaxActive.
+	ArbFairShare
+	// ArbGreedy is first-come-first-served: each admitted session claims
+	// all remaining budget; sessions arriving after exhaustion decode
+	// cache-less (every access a Flash miss) until a claim is released.
+	ArbGreedy
+	// ArbShared backs every session with one shared cache at the full
+	// budget. Accesses are committed in slot order at every token, so
+	// sessions genuinely contend — and statistics stay deterministic for a
+	// fixed admission order.
+	ArbShared
+)
+
+// String names the policy (CLI-compatible: see ParseArbPolicy).
+func (p ArbPolicy) String() string {
+	switch p {
+	case ArbExclusive:
+		return "exclusive"
+	case ArbFairShare:
+		return "fair"
+	case ArbGreedy:
+		return "greedy"
+	case ArbShared:
+		return "shared"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseArbPolicy maps a CLI name to its policy.
+func ParseArbPolicy(s string) (ArbPolicy, error) {
+	for p := ArbExclusive; p <= ArbShared; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("serving: unknown arbitration policy %q (exclusive|fair|greedy|shared)", s)
+}
+
+// Policies lists every arbitration policy in declaration order.
+func Policies() []ArbPolicy {
+	return []ArbPolicy{ArbExclusive, ArbFairShare, ArbGreedy, ArbShared}
+}
+
+// grant reserves a budget fraction for a newly admitted session under the
+// partitioned policies, recording greedy claims on the engine pool.
+func (e *Engine) grant(sess *Session) float64 {
+	switch e.cfg.Arb {
+	case ArbFairShare:
+		return 1 / float64(e.cfg.MaxActive)
+	case ArbGreedy:
+		share := 1 - e.claimed
+		if share < 0 {
+			share = 0
+		}
+		e.claimed += share
+		sess.claim = share
+		return share
+	default: // ArbExclusive
+		return 1
+	}
+}
+
+// scaledCaps scales per-layer per-group unit capacities by a budget
+// fraction. frac == 1 returns the capacities untouched, keeping the
+// exclusive path bit-identical to the solo plan.
+func scaledCaps(caps [][sparsity.NumGroups]int, frac float64) [][sparsity.NumGroups]int {
+	if frac >= 1 {
+		return caps
+	}
+	out := make([][sparsity.NumGroups]int, len(caps))
+	for l := range caps {
+		for g := range caps[l] {
+			out[l][g] = int(frac * float64(caps[l][g]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package serving
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/eval"
+)
+
+// SessionMetrics is one finished session's record.
+type SessionMetrics struct {
+	ID    string
+	Index int
+	// Point carries the session's KPIs: perplexity, measured density,
+	// simulated tok/s and latency, and this session's cache hit rate.
+	Point  eval.Point
+	Tokens int
+	// Share is the granted cache-budget fraction.
+	Share     float64
+	AdmitRank int
+	// AdmitTick/FinishTick are scheduler-time bounds (deterministic).
+	AdmitTick, FinishTick int
+	// WallQueue/WallRun are wall-clock queue wait and run time (not
+	// deterministic; excluded from the determinism contract).
+	WallQueue, WallRun time.Duration
+}
+
+// Report aggregates one engine run.
+type Report struct {
+	Arb      ArbPolicy
+	Sessions []SessionMetrics // in submission order
+	Ticks    int
+
+	// TotalTokens is the token count decoded across all sessions.
+	TotalTokens int
+	// WallSeconds and WallTokS are measured on the host: total runtime and
+	// aggregate decoded tokens per wall second across all sessions.
+	WallSeconds float64
+	WallTokS    float64
+	// SimTokS is the simulated aggregate throughput: all sessions' traffic
+	// time-shares one memory system, so their simulated transfer times
+	// serialize.
+	SimTokS float64
+	// HitRate is the unit-weighted cache hit rate across sessions.
+	HitRate float64
+	// SimLatencyP50/P90/P99 are percentiles, across sessions, of the mean
+	// simulated seconds per token.
+	SimLatencyP50, SimLatencyP90, SimLatencyP99 float64
+	// WallRunP50/P90/P99 are percentiles of per-session wall run time in
+	// seconds.
+	WallRunP50, WallRunP90, WallRunP99 float64
+}
+
+// report assembles the Report after the scheduler loop drains.
+func (e *Engine) report(ticks int, wall time.Duration) *Report {
+	r := &Report{Arb: e.cfg.Arb, Ticks: ticks, WallSeconds: wall.Seconds()}
+	var simSeconds float64
+	var hits, misses int64
+	simLats := make([]float64, 0, len(e.sessions))
+	wallRuns := make([]float64, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		if s == nil { // admission failed mid-run; Run already returned an error
+			continue
+		}
+		pt := s.stream.Point()
+		sm := SessionMetrics{
+			ID: s.ID, Index: s.Index, Point: pt,
+			Tokens: s.stream.Pos(), Share: s.Share, AdmitRank: s.AdmitRank,
+			AdmitTick: s.admitTick, FinishTick: s.finishTick,
+			WallQueue: s.wallAdmit.Sub(e.wallStart), WallRun: s.wallFinish.Sub(s.wallAdmit),
+		}
+		r.Sessions = append(r.Sessions, sm)
+		r.TotalTokens += sm.Tokens
+		simSeconds += pt.LatencyS * float64(sm.Tokens)
+		h, m := s.stream.Traffic()
+		hits += h
+		misses += m
+		simLats = append(simLats, pt.LatencyS)
+		wallRuns = append(wallRuns, sm.WallRun.Seconds())
+	}
+	if r.WallSeconds > 0 {
+		r.WallTokS = float64(r.TotalTokens) / r.WallSeconds
+	}
+	if simSeconds > 0 {
+		r.SimTokS = float64(r.TotalTokens) / simSeconds
+	}
+	if t := hits + misses; t > 0 {
+		r.HitRate = float64(hits) / float64(t)
+	}
+	r.SimLatencyP50 = Percentile(simLats, 0.50)
+	r.SimLatencyP90 = Percentile(simLats, 0.90)
+	r.SimLatencyP99 = Percentile(simLats, 0.99)
+	r.WallRunP50 = Percentile(wallRuns, 0.50)
+	r.WallRunP90 = Percentile(wallRuns, 0.90)
+	r.WallRunP99 = Percentile(wallRuns, 0.99)
+	return r
+}
+
+// Percentile returns the nearest-rank p-quantile (p in [0,1]) of vals,
+// or 0 when empty. The input is not modified.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	i := int(p*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,83 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Run executes every request to completion under continuous batching and
+// returns the aggregate report. The admission order is a seeded permutation
+// of the submission order; slots refill the tick a session finishes.
+func (e *Engine) Run() (*Report, error) {
+	if e.ran {
+		return nil, fmt.Errorf("serving: engine already ran")
+	}
+	e.ran = true
+	queue := tensor.NewRNG(e.cfg.Seed).Perm(len(e.reqs))
+	active := make([]*Session, 0, e.cfg.MaxActive)
+	e.wallStart = time.Now()
+	tick, rank := 0, 0
+	for len(queue) > 0 || len(active) > 0 {
+		for len(active) < e.cfg.MaxActive && len(queue) > 0 {
+			sess, err := e.admit(queue[0], rank, tick)
+			if err != nil {
+				return nil, err
+			}
+			queue = queue[1:]
+			rank++
+			active = append(active, sess)
+		}
+		if e.cfg.Arb == ArbShared {
+			e.tickShared(active)
+		} else {
+			e.tickPartitioned(active)
+		}
+		tick++
+		live := active[:0]
+		for _, s := range active {
+			if s.stream.Done() {
+				e.retire(s, tick)
+			} else {
+				live = append(live, s)
+			}
+		}
+		active = live
+	}
+	return e.report(tick, time.Since(e.wallStart)), nil
+}
+
+// tickPartitioned advances each active session by up to Quantum tokens.
+// Partitioned sessions share no mutable state — each owns its scheme clone,
+// decoder, cache, and meter — so the batch fans out over the worker pool
+// and per-session results cannot depend on scheduling.
+func (e *Engine) tickPartitioned(active []*Session) {
+	parallel.For(len(active), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := active[i].stream
+			for q := 0; q < e.cfg.Quantum && st.Step(); q++ {
+			}
+		}
+	})
+}
+
+// tickShared advances the batch in lockstep sub-steps: every sub-step
+// computes all sessions' token forwards in parallel — reading the shared
+// cache's state as of the previous commit — then applies their buffered
+// accesses serially in slot order. The shared cache therefore sees one
+// deterministic interleaving for a fixed admission order, independent of
+// worker count, and the parallel phase never races the serial writes.
+func (e *Engine) tickShared(active []*Session) {
+	for q := 0; q < e.cfg.Quantum; q++ {
+		parallel.For(len(active), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				active[i].stream.Step()
+			}
+		})
+		for _, s := range active {
+			s.stream.Commit()
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package serving is the multi-stream decode engine: many independent
+// sessions — each its own token stream, scheme state, KV caches, and
+// transfer meter — run against one shared DRAM cache budget. It models the
+// server-side analogue of the paper's on-device setting: per-user decode
+// streams contending for a fixed weight-cache allocation.
+//
+// The engine advances sessions in ticks. Each tick it admits queued
+// sessions into free batch slots (continuous batching: a slot refills the
+// moment its session finishes, in an admission order drawn from a seeded
+// RNG), fans the active batch out over the shared worker pool, and advances
+// every active session by a token quantum through eval.Stream — the same
+// per-token machinery SystemEvaluate uses, so a session evaluated alone is
+// bit-identical to a solo SystemEvaluate run.
+//
+// Cache arbitration (see ArbPolicy) decides how the plan's DRAM cache
+// budget is split across concurrent sessions: over-committed per-session
+// caches (exclusive), equal partitions (fair-share), first-come-first-served
+// claims (greedy), or one genuinely shared cache with tick-ordered access
+// commits (shared).
+//
+// Determinism contract: given a fixed seed (and therefore admission order),
+// every per-session output and every cache statistic is bit-identical for
+// any worker count. Partitioned sessions share no mutable state; the shared
+// cache is only written in the serial commit phase, in slot order. Only the
+// wall-clock fields of the Report vary between runs.
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/eval"
+	"repro/internal/hwsim"
+	"repro/internal/model"
+	"repro/internal/sparsity"
+)
+
+// Request is one queued decode job: a token stream evaluated under a
+// sparsity scheme. The scheme is cloned at admission, so the same instance
+// may back many requests.
+type Request struct {
+	ID     string
+	Scheme sparsity.Scheme
+	Tokens []int
+}
+
+// Config tunes the engine.
+type Config struct {
+	// System supplies the device, eviction policy, window, and stream
+	// truncation — the same knobs as a solo SystemEvaluate. Belady is
+	// rejected: its oracle needs a fixed single-stream future.
+	System eval.SystemConfig
+	// Arb selects the cache-budget arbitration policy.
+	Arb ArbPolicy
+	// MaxActive is the batch width: how many sessions decode concurrently.
+	// Defaults to 4. It is deliberately not derived from the worker-pool
+	// size — batch width shapes cache arbitration (fair shares are
+	// budget/MaxActive) and admission ticks, so tying it to the host would
+	// break the bit-identical-for-any-worker-count contract.
+	MaxActive int
+	// Quantum is how many tokens each active session advances per tick
+	// (default 8). Under ArbShared every token is individually committed to
+	// the shared cache in slot order, regardless of quantum.
+	Quantum int
+	// Seed drives the admission-order RNG. Fixed seed ⇒ fixed admission
+	// order ⇒ bit-identical outputs and cache statistics.
+	Seed uint64
+}
+
+// Session is one admitted request's live state.
+type Session struct {
+	ID    string
+	Index int // submission index in the request slice
+	// AdmitRank is the session's position in the seeded admission order.
+	AdmitRank int
+	// Share is the granted fraction of the cache budget (1 under ArbShared:
+	// the whole cache, shared).
+	Share float64
+
+	stream *eval.Stream
+	claim  float64 // greedy pool claim, released at retirement
+
+	admitTick, finishTick int
+	wallAdmit, wallFinish time.Time
+}
+
+// Engine runs a fixed batch of requests to completion.
+type Engine struct {
+	m         *model.Model
+	cfg       Config
+	reqs      []Request
+	plan      *hwsim.Plan
+	shared    *cache.ModelCache // non-nil under ArbShared
+	sessions  []*Session        // by submission index, filled at admission
+	claimed   float64           // greedy pool state
+	ran       bool
+	wallStart time.Time
+}
+
+// NewEngine validates the configuration and lays out the shared memory
+// plan. The plan's weight groups are the union over all request schemes, so
+// heterogeneous scheme mixes are priced consistently.
+func NewEngine(m *model.Model, cfg Config, reqs []Request) (*Engine, error) {
+	if err := cfg.System.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.System.Policy == cache.PolicyBelady {
+		return nil, fmt.Errorf("serving: Belady eviction needs a fixed single-stream future; use lru/lfu")
+	}
+	if cfg.Arb < ArbExclusive || cfg.Arb > ArbShared {
+		return nil, fmt.Errorf("serving: unknown arbitration policy %d", cfg.Arb)
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serving: no requests")
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 4
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 8
+	}
+	var groups [sparsity.NumGroups]bool
+	for i, r := range reqs {
+		if r.Scheme == nil {
+			return nil, fmt.Errorf("serving: request %d (%q) has no scheme", i, r.ID)
+		}
+		if len(r.Tokens) == 0 {
+			return nil, fmt.Errorf("serving: request %d (%q) has no tokens", i, r.ID)
+		}
+		used := hwsim.ProbeGroups(sparsity.Clone(r.Scheme), m)
+		for g := range groups {
+			groups[g] = groups[g] || used[g]
+		}
+	}
+	plan, err := hwsim.NewPlan(m, cfg.System.Device, hwsim.PlanOpts{
+		BytesPerWeight:     cfg.System.BytesPerWeight,
+		ExtraStaticWeights: cfg.System.ExtraStaticWeights,
+		Groups:             groups,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{m: m, cfg: cfg, reqs: reqs, plan: plan, sessions: make([]*Session, len(reqs))}
+	if cfg.Arb == ArbShared {
+		e.shared = plan.NewCache(cfg.System.Policy)
+	}
+	return e, nil
+}
+
+// Plan exposes the engine's memory layout (for reporting).
+func (e *Engine) Plan() *hwsim.Plan { return e.plan }
+
+// SharedCache returns the shared cache under ArbShared, else nil.
+func (e *Engine) SharedCache() *cache.ModelCache { return e.shared }
+
+// admit builds the live session for request idx with an arbitrated cache.
+func (e *Engine) admit(idx, rank, tick int) (*Session, error) {
+	req := e.reqs[idx]
+	sess := &Session{
+		ID: req.ID, Index: idx, AdmitRank: rank,
+		admitTick: tick, wallAdmit: time.Now(),
+	}
+	scheme := sparsity.Clone(req.Scheme)
+	var (
+		mc       *cache.ModelCache
+		deferred bool
+	)
+	if e.cfg.Arb == ArbShared {
+		mc, sess.Share, deferred = e.shared, 1, true
+	} else {
+		share := e.grant(sess)
+		mc = cache.NewModelCache(e.cfg.System.Policy, scaledCaps(e.plan.Caps, share), e.plan.NUnits)
+		sess.Share = share
+	}
+	st, err := eval.NewStreamWith(e.m, scheme, req.Tokens, e.cfg.System, eval.StreamOpts{
+		Plan: e.plan, Cache: mc, Deferred: deferred,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serving: admitting %q: %w", req.ID, err)
+	}
+	sess.stream = st
+	e.sessions[idx] = sess
+	return sess, nil
+}
+
+// retire finalizes a finished session and releases any greedy claim.
+func (e *Engine) retire(sess *Session, tick int) {
+	sess.finishTick = tick
+	sess.wallFinish = time.Now()
+	e.claimed -= sess.claim
+	sess.claim = 0
+}

@@ -1,0 +1,401 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/hwsim"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/sparsity"
+)
+
+// zoo holds one trained tiny model shared across the package's tests.
+var zoo struct {
+	m      *model.Model
+	tokens []int
+}
+
+func trained(t *testing.T) {
+	t.Helper()
+	if zoo.m != nil {
+		return
+	}
+	tok := data.NewTokenizer()
+	splits := data.NewSplits(73, 14000, 6000)
+	cfg := model.Config{
+		Name: model.Mistral7BSim, Vocab: tok.VocabSize(), Dim: 16, Layers: 2,
+		Heads: 2, KVHeads: 1, DFF: 32, MaxSeq: 32, Act: nn.ActSiLU,
+	}
+	m := model.New(cfg, 29)
+	opts := model.DefaultTrainOpts()
+	opts.Steps = 100
+	opts.Batch = 2
+	opts.SeqLen = 31
+	if _, err := model.Train(m, tok.Encode(splits.Train), opts); err != nil {
+		t.Fatal(err)
+	}
+	zoo.m = m
+	zoo.tokens = tok.Encode(splits.Test)
+}
+
+// streamFor carves session i's token stream out of the test split so every
+// session decodes distinct content. nWin is its length in 32-token windows.
+func streamFor(t *testing.T, i, nWin int) []int {
+	t.Helper()
+	lo, hi := i*256, i*256+nWin*32
+	if hi > len(zoo.tokens) {
+		t.Fatalf("test split too short for session %d (%d > %d)", i, hi, len(zoo.tokens))
+	}
+	return zoo.tokens[lo:hi]
+}
+
+func sysCfg() eval.SystemConfig {
+	return eval.SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU}
+}
+
+func requests(t *testing.T, n int, scheme func(i int) sparsity.Scheme, wins func(i int) int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: string(rune('a' + i)), Scheme: scheme(i), Tokens: streamFor(t, i, wins(i))}
+	}
+	return reqs
+}
+
+func pointsEqual(a, b eval.Point) bool {
+	return a == b
+}
+
+// The headline acceptance test: under exclusive arbitration every session
+// must reproduce a solo SystemEvaluate of its stream bit for bit — same
+// perplexity, density, simulated throughput, hit rate, latency. DIP-CA is
+// the hard case: its masks read the session's cache state every token.
+func TestExclusiveSessionsMatchSoloSystemEvaluateBitForBit(t *testing.T) {
+	trained(t)
+	const k = 4
+	reqs := requests(t, k,
+		func(int) sparsity.Scheme { return sparsity.NewDIPCA(0.5, 0.2) },
+		func(i int) int { return 3 + i%2 })
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbExclusive, MaxActive: k, Quantum: 5, Seed: 11}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sessions) != k {
+		t.Fatalf("%d sessions reported, want %d", len(rep.Sessions), k)
+	}
+	for _, sm := range rep.Sessions {
+		solo, err := eval.SystemEvaluate(zoo.m, sparsity.NewDIPCA(0.5, 0.2), reqs[sm.Index].Tokens, sysCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pointsEqual(sm.Point, solo) {
+			t.Fatalf("session %q diverged from solo evaluation:\nserved %+v\nsolo   %+v", sm.ID, sm.Point, solo)
+		}
+		if sm.Tokens != len(reqs[sm.Index].Tokens) {
+			t.Fatalf("session %q decoded %d of %d tokens", sm.ID, sm.Tokens, len(reqs[sm.Index].Tokens))
+		}
+	}
+}
+
+// runShared runs K DIP-CA sessions against one genuinely shared cache and
+// returns the report plus the shared cache's final fingerprint.
+func runShared(t *testing.T, seed uint64) (*Report, cache.Stats, int) {
+	t.Helper()
+	const k = 5
+	reqs := requests(t, k,
+		func(int) sparsity.Scheme { return sparsity.NewDIPCA(0.5, 0.2) },
+		func(i int) int { return 2 + i%3 })
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbShared, MaxActive: 3, Quantum: 4, Seed: seed}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, e.SharedCache().TotalStats(), e.SharedCache().Occupancy()
+}
+
+// Sessions contending for one ModelCache must leave bit-identical final
+// occupancy, statistics, and per-session outputs for a fixed admission
+// order, no matter how many workers step the batch. Run under -race this
+// also proves the parallel step phase never races the serial commits.
+func TestSharedCacheDeterministicAcrossWorkerCounts(t *testing.T) {
+	trained(t)
+	defer parallel.SetProcs(parallel.Procs())
+
+	parallel.SetProcs(1)
+	repSer, statsSer, occSer := runShared(t, 7)
+	parallel.SetProcs(8)
+	repPar, statsPar, occPar := runShared(t, 7)
+
+	if statsSer != statsPar {
+		t.Fatalf("shared cache stats depend on worker count: %+v vs %+v", statsSer, statsPar)
+	}
+	if occSer != occPar {
+		t.Fatalf("shared cache occupancy depends on worker count: %d vs %d", occSer, occPar)
+	}
+	for i := range repSer.Sessions {
+		a, b := repSer.Sessions[i], repPar.Sessions[i]
+		if !pointsEqual(a.Point, b.Point) || a.AdmitRank != b.AdmitRank ||
+			a.AdmitTick != b.AdmitTick || a.FinishTick != b.FinishTick {
+			t.Fatalf("session %d not deterministic:\nserial   %+v\nparallel %+v", i, a, b)
+		}
+	}
+	if occSer == 0 || statsSer.Hits == 0 {
+		t.Fatalf("shared cache never filled (occupancy %d, stats %+v)", occSer, statsSer)
+	}
+}
+
+// A different seed must produce a different admission order (and the same
+// seed must reproduce it exactly). With one batch slot the engine is a
+// seeded serial queue: finish ticks follow admission ranks.
+func TestAdmissionOrderIsSeededAndReproducible(t *testing.T) {
+	trained(t)
+	run := func(seed uint64) *Report {
+		reqs := requests(t, 5,
+			func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+			func(int) int { return 2 })
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 1, Quantum: 16, Seed: seed}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ranks := func(r *Report) []int {
+		out := make([]int, len(r.Sessions))
+		for i, sm := range r.Sessions {
+			out[i] = sm.AdmitRank
+		}
+		return out
+	}
+	a, b, c := run(1), run(1), run(99)
+	ra, rb, rc := ranks(a), ranks(b), ranks(c)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed, different admission order: %v vs %v", ra, rb)
+		}
+	}
+	same := true
+	for i := range ra {
+		same = same && ra[i] == rc[i]
+	}
+	if same {
+		t.Fatalf("seeds 1 and 99 produced identical admission order %v", ra)
+	}
+	for _, sm := range a.Sessions {
+		// One slot: session with rank r is the (r+1)-th to finish.
+		for _, other := range a.Sessions {
+			if other.AdmitRank < sm.AdmitRank && other.FinishTick > sm.FinishTick {
+				t.Fatalf("serial queue finished out of admission order: %+v before %+v", sm, other)
+			}
+		}
+	}
+}
+
+// Continuous batching: with two slots and unequal stream lengths, a queued
+// session must be admitted the moment a slot frees mid-run — not at a
+// global barrier — and the whole batch must finish in fewer ticks than a
+// one-slot queue.
+func TestContinuousBatchingBackfillsFreedSlots(t *testing.T) {
+	trained(t)
+	build := func(maxActive int) *Engine {
+		reqs := requests(t, 4,
+			func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+			func(i int) int { return []int{4, 1, 1, 2}[i] })
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: maxActive, Quantum: 8, Seed: 3}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	rep, err := build(2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backfilled := 0
+	for _, sm := range rep.Sessions {
+		if sm.AdmitRank >= 2 {
+			if sm.AdmitTick == 0 {
+				t.Fatalf("session %q admitted at tick 0 despite full batch: %+v", sm.ID, sm)
+			}
+			backfilled++
+		}
+		if sm.FinishTick <= sm.AdmitTick {
+			t.Fatalf("session %q has empty run interval: %+v", sm.ID, sm)
+		}
+	}
+	if backfilled != 2 {
+		t.Fatalf("expected 2 backfilled sessions, got %d", backfilled)
+	}
+	serial, err := build(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks >= serial.Ticks {
+		t.Fatalf("batched run took %d ticks, serial queue %d", rep.Ticks, serial.Ticks)
+	}
+}
+
+// Arbitration grants: fair-share hands every session budget/MaxActive;
+// greedy hands the first arrival everything and starves the rest while the
+// claim is held, which must show up as a zero hit rate for the starved
+// sessions and a positive one for the hog.
+func TestFairShareAndGreedyGrants(t *testing.T) {
+	trained(t)
+	run := func(arb ArbPolicy) *Report {
+		reqs := requests(t, 3,
+			func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+			func(int) int { return 3 })
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: arb, MaxActive: 3, Quantum: 8, Seed: 5}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fair := run(ArbFairShare)
+	for _, sm := range fair.Sessions {
+		if sm.Share != 1.0/3 {
+			t.Fatalf("fair-share grant %v for %q, want 1/3", sm.Share, sm.ID)
+		}
+		if sm.Point.HitRate <= 0 {
+			t.Fatalf("fair-share session %q starved: %+v", sm.ID, sm.Point)
+		}
+	}
+	greedy := run(ArbGreedy)
+	for _, sm := range greedy.Sessions {
+		switch sm.AdmitRank {
+		case 0:
+			if sm.Share != 1 {
+				t.Fatalf("greedy first arrival got share %v, want 1", sm.Share)
+			}
+			if sm.Point.HitRate <= 0 {
+				t.Fatalf("greedy hog has no cache hits: %+v", sm.Point)
+			}
+		default:
+			if sm.Share != 0 || sm.Point.HitRate != 0 {
+				t.Fatalf("greedy rank-%d session should be cache-less, got share %v hit rate %v",
+					sm.AdmitRank, sm.Share, sm.Point.HitRate)
+			}
+		}
+	}
+	// Contention ordering: equal partitions cannot beat the over-committed
+	// exclusive upper bound, and must beat total starvation of 2/3 of the
+	// batch.
+	excl := run(ArbExclusive)
+	if fair.HitRate > excl.HitRate {
+		t.Fatalf("fair-share hit rate %v above exclusive upper bound %v", fair.HitRate, excl.HitRate)
+	}
+	if fair.HitRate <= greedy.HitRate {
+		t.Fatalf("fair-share hit rate %v not above greedy %v", fair.HitRate, greedy.HitRate)
+	}
+}
+
+// Report coherence: token totals, simulated aggregate throughput, and
+// percentile ordering.
+func TestReportAggregates(t *testing.T) {
+	trained(t)
+	reqs := requests(t, 4,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(i int) int { return 1 + i%2 })
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 2, Quantum: 8, Seed: 2}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range reqs {
+		want += len(r.Tokens)
+	}
+	if rep.TotalTokens != want {
+		t.Fatalf("TotalTokens %d, want %d", rep.TotalTokens, want)
+	}
+	if rep.SimTokS <= 0 || rep.WallTokS <= 0 || rep.WallSeconds <= 0 {
+		t.Fatalf("non-positive throughput aggregates: %+v", rep)
+	}
+	if rep.SimLatencyP50 > rep.SimLatencyP90 || rep.SimLatencyP90 > rep.SimLatencyP99 {
+		t.Fatalf("latency percentiles out of order: %v %v %v", rep.SimLatencyP50, rep.SimLatencyP90, rep.SimLatencyP99)
+	}
+	if rep.SimLatencyP50 <= 0 {
+		t.Fatal("zero simulated latency percentile")
+	}
+}
+
+func TestEngineRejections(t *testing.T) {
+	trained(t)
+	good := requests(t, 1,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 1 })
+	bad := sysCfg()
+	bad.Policy = cache.PolicyBelady
+	if _, err := NewEngine(zoo.m, Config{System: bad}, good); err == nil {
+		t.Fatal("Belady eviction must be rejected for serving")
+	}
+	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, nil); err == nil {
+		t.Fatal("empty request batch must be rejected")
+	}
+	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, []Request{{ID: "x", Tokens: []int{1}}}); err == nil {
+		t.Fatal("nil scheme must be rejected")
+	}
+	invalid := sysCfg()
+	invalid.Device.FlashBandwidth = 0
+	if _, err := NewEngine(zoo.m, Config{System: invalid}, good); err == nil {
+		t.Fatal("invalid SystemConfig must be rejected")
+	}
+	e, err := NewEngine(zoo.m, Config{System: sysCfg()}, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("second Run must be rejected")
+	}
+}
+
+func TestParseArbPolicy(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParseArbPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round-trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParseArbPolicy("belady"); err == nil {
+		t.Fatal("unknown policy name must error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if got := Percentile(vals, 0.5); got != 2 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(vals, 0.99); got != 4 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	if vals[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
