@@ -9,9 +9,18 @@
 //	dipbench -exp tab1 -ckpt ckpts/   # reuse checkpoints from diptrain
 //	dipbench -exp tab2 -procs 1       # pin the worker pool (serial run)
 //	dipbench -exp tab2 -cpuprofile cpu.out -memprofile mem.out
-//	dipbench -serve                   # multi-stream serving scenario
+//	dipbench -serve                   # serving grid: workload × scheduler × arbitration
 //	dipbench -serve -small            # CI-sized serving smoke run
-//	dipbench -serve -seed 42          # reproducible admission order
+//	dipbench -serve -seed 42          # reproducible arrivals and admission order
+//	dipbench -serve -workload poisson -rate 0.2 -sched edf -slo 200
+//	dipbench -serve -workload trace -trace trace.json -arb shared
+//
+// The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
+// -sched, -arb) are rejected without -serve (or -exp serve / -exp all),
+// -small conflicts with an explicit -scale paper, and -slo/-rate are
+// rejected where they would be ignored (trace files carry their own
+// deadlines; only poisson has a rate) — all hard errors, not silent
+// overrides.
 //
 // Every run also emits a machine-readable BENCH_results.json (per
 // experiment: wall time in ns and the headline row of each table) into -out
@@ -32,6 +41,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/serving"
 )
 
 // benchTable is the JSON record of one rendered table.
@@ -77,8 +87,14 @@ func run() int {
 		verbose    = flag.Bool("v", true, "log lab progress to stderr")
 		procs      = flag.Int("procs", 0, "worker-pool size (0 = GOMAXPROCS / $REPRO_PROCS; 1 = serial)")
 		serve      = flag.Bool("serve", false, "run the multi-stream serving scenario (shorthand for -exp serve)")
-		small      = flag.Bool("small", false, "with -serve: CI-sized smoke run (forces -scale test, fewer sessions)")
-		seed       = flag.Uint64("seed", 0, "admission-order seed for the serving scheduler RNG")
+		small      = flag.Bool("small", false, "with -serve: CI-sized smoke run (runs at -scale test, fewer sessions)")
+		seed       = flag.Uint64("seed", 0, "with -serve: seed for the arrival trace and admission tiebreak RNG")
+		workload   = flag.String("workload", "", "with -serve: restrict the grid to one workload (fixed|poisson|closed|trace)")
+		rate       = flag.Float64("rate", 0, "with -serve: poisson arrival rate in requests/tick (0 = arrival ≈ service rate)")
+		slo        = flag.Int("slo", 0, "with -serve: interactive-class SLO deadline in ticks (0 = scale default)")
+		tracePath  = flag.String("trace", "", "with -serve -workload trace: trace file (JSON or CSV) to replay")
+		sched      = flag.String("sched", "", "with -serve: restrict the grid to one scheduler (fcfs|prio|edf)")
+		arb        = flag.String("arb", "", "with -serve: restrict the grid to one arbitration policy (exclusive|fair|greedy|shared)")
 		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -90,6 +106,8 @@ func run() int {
 		}
 		return 0
 	}
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *serve {
 		if *exp != "" && *exp != "serve" {
 			fmt.Fprintln(os.Stderr, "dipbench: -serve conflicts with -exp")
@@ -97,12 +115,79 @@ func run() int {
 		}
 		*exp = "serve"
 	}
+	// The serving-only flags are hard errors outside the serving scenario —
+	// silently ignoring them would let a typo'd invocation masquerade as a
+	// reproducible run. -exp all includes the serve experiment, so the
+	// shaping flags pass through; -small stays serve-only because it forces
+	// the scale, which would rescale every other experiment too.
+	servesToo := *exp == "serve" || *exp == "all"
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "arb"} {
+		if set[f] && !servesToo {
+			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenario; add -serve (or -exp serve / -exp all)\n", f)
+			return 2
+		}
+	}
+	if *small && *exp != "serve" {
+		fmt.Fprintln(os.Stderr, "dipbench: -small only applies to the serving scenario; add -serve (or -exp serve)")
+		return 2
+	}
 	if *small {
-		if *exp != "serve" {
-			fmt.Fprintln(os.Stderr, "dipbench: -small only applies to the serving scenario (-serve)")
+		// -small runs at test scale; overriding an explicit -scale paper
+		// silently would report miniature numbers as paper-scale ones.
+		if set["scale"] && *scale != "test" {
+			fmt.Fprintf(os.Stderr, "dipbench: -small runs at -scale test but -scale %s was requested; drop one of the two\n", *scale)
 			return 2
 		}
 		*scale = "test"
+	}
+	if *workload != "" {
+		known := false
+		for _, w := range serving.WorkloadNames() {
+			known = known || w == *workload
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "dipbench: unknown workload %q (known: %v)\n", *workload, serving.WorkloadNames())
+			return 2
+		}
+	}
+	if *sched != "" {
+		if _, err := serving.ParseScheduler(*sched); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+			return 2
+		}
+	}
+	if *arb != "" {
+		if _, err := serving.ParseArbPolicy(*arb); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+			return 2
+		}
+	}
+	if set["slo"] && *slo <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -slo must be a positive deadline in ticks, got %d\n", *slo)
+		return 2
+	}
+	if *tracePath != "" && *workload != "" && *workload != "trace" {
+		fmt.Fprintf(os.Stderr, "dipbench: -trace conflicts with -workload %s; use -workload trace\n", *workload)
+		return 2
+	}
+	if *tracePath != "" && *workload == "" {
+		*workload = "trace"
+	}
+	if *workload == "trace" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "dipbench: -workload trace needs a trace file (-trace path.json|path.csv)")
+		return 2
+	}
+	if set["rate"] && *rate <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -rate must be a positive requests/tick, got %v\n", *rate)
+		return 2
+	}
+	if set["rate"] && *workload != "" && *workload != "poisson" {
+		fmt.Fprintf(os.Stderr, "dipbench: -rate only shapes the poisson workload, not %q\n", *workload)
+		return 2
+	}
+	if set["slo"] && *workload == "trace" {
+		fmt.Fprintln(os.Stderr, "dipbench: -slo does not apply to traces — deadlines come from the file's deadline_ticks column")
+		return 2
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "dipbench: -exp required (try -list)")
@@ -136,6 +221,12 @@ func run() int {
 	lab.CheckpointDir = *ckpt
 	lab.ServeSeed = *seed
 	lab.ServeSmoke = *small
+	lab.ServeWorkload = *workload
+	lab.ServeSched = *sched
+	lab.ServeArb = *arb
+	lab.ServeRate = *rate
+	lab.ServeSLO = *slo
+	lab.ServeTrace = *tracePath
 	if *verbose {
 		lab.Log = os.Stderr
 	}

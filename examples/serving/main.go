@@ -1,8 +1,10 @@
-// Serving quickstart: train a small model, queue eight decode sessions,
-// and run them through the multi-stream serving engine twice — once with
-// the DRAM cache budget fair-shared into private partitions, once with one
-// genuinely shared cache — to see how arbitration shapes hit rate, latency
-// percentiles, and aggregate throughput.
+// Serving quickstart: train a small model, then drive the multi-stream
+// serving engine with an online workload — eight users arriving as a
+// seeded Poisson process in two SLO classes (interactive: high priority
+// with a deadline; batch: best effort) — under two admission schedulers
+// (FCFS and earliest-deadline-first) against one genuinely shared cache.
+// Every printed metric runs on the simulated tick clock, so the output is
+// bit-identical run to run; only the wall-clock annotation varies.
 package main
 
 import (
@@ -39,30 +41,45 @@ func main() {
 	}
 
 	// 2. Eight users, each decoding their own stream under DIP-CA at 50%
-	//    density. Lengths differ, so batch slots free up mid-run and the
-	//    scheduler backfills them (continuous batching).
+	//    density. Even users are "interactive" (priority 2, 160-tick
+	//    deadline), odd users are best-effort "batch". Lengths differ, so
+	//    batch slots free up mid-run and the scheduler backfills them.
 	test := tok.Encode(splits.Test)
 	reqs := make([]serving.Request, 8)
 	for i := range reqs {
 		n := 192 + (i%3)*64
+		slo := serving.SLO{Class: "batch"}
+		if i%2 == 0 {
+			slo = serving.SLO{Class: "interactive", Priority: 2, DeadlineTicks: 160}
+		}
 		reqs[i] = serving.Request{
 			ID:     fmt.Sprintf("user-%d", i),
 			Scheme: sparsity.NewDIPCA(0.5, 0.2),
 			Tokens: test[i*256 : i*256+n],
+			SLO:    slo,
 		}
 	}
 
-	// 3. Run the batch under two arbitration policies on an A18-class
-	//    device with DRAM fitting half the 4-bit model.
+	// 3. Arrivals are an open-loop Poisson trace: ~one request every four
+	//    ticks, drawn once from a seeded RNG, so the trace (and everything
+	//    downstream) is reproducible. Two batch slots against eight users
+	//    means queues form — which is where FCFS and EDF part ways: EDF
+	//    pulls deadlined interactive sessions ahead of best-effort batch
+	//    work.
 	sys := eval.SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU, Win: 64}
-	for _, arb := range []serving.ArbPolicy{serving.ArbFairShare, serving.ArbShared} {
+	for _, sched := range []serving.Scheduler{serving.FCFS(), serving.EDF()} {
+		workload, err := serving.PoissonArrivals(reqs, 0.25, 1234)
+		if err != nil {
+			log.Fatal(err)
+		}
 		engine, err := serving.NewEngine(m, serving.Config{
 			System:    sys,
-			Arb:       arb,
-			MaxActive: 4,  // batch width: four sessions decode concurrently
+			Arb:       serving.ArbShared, // one genuinely shared cache
+			Sched:     sched,
+			MaxActive: 2,  // batch width: two sessions decode concurrently
 			Quantum:   8,  // tokens each session advances per tick
-			Seed:      42, // admission order (reproducible)
-		}, reqs)
+			Seed:      42, // same-tick arrival tiebreaks (reproducible)
+		}, workload)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,15 +87,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n== %s arbitration ==\n", arb)
-		fmt.Printf("aggregate: %.0f tok/s wall, %.3f tok/s simulated, hit rate %.3f, %d ticks\n",
-			rep.WallTokS, rep.SimTokS, rep.HitRate, rep.Ticks)
-		fmt.Printf("latency  : p50 %.2f s/tok, p99 %.2f s/tok (simulated)\n",
-			rep.SimLatencyP50, rep.SimLatencyP99)
-		for _, sm := range rep.Sessions {
-			fmt.Printf("  %-7s rank %d  share %.2f  ticks %3d-%-3d  ppl %6.3f  hit %.3f\n",
-				sm.ID, sm.AdmitRank, sm.Share, sm.AdmitTick, sm.FinishTick,
-				sm.Point.PPL, sm.Point.HitRate)
+		fmt.Printf("\n== %s workload, %s scheduler, %s arbitration ==\n", rep.Workload, rep.Sched, rep.Arb)
+		fmt.Printf("aggregate: %.3f tok/s simulated, hit rate %.3f, %d ticks, SLO attainment %.2f\n",
+			rep.SimTokS, rep.HitRate, rep.Ticks, rep.SLOAttainRate)
+		fmt.Printf("latency  : p50 %.2f s/tok, p99 %.2f s/tok (simulated); queue p99 %.0f ticks\n",
+			rep.SimLatencyP50, rep.SimLatencyP99, rep.QueueP99)
+		for _, cm := range rep.Classes {
+			fmt.Printf("  class %-11s  %d sessions  attain %.2f  queue p50 %3.0f t  turnaround p99 %3.0f t\n",
+				cm.Class, cm.Sessions, cm.AttainRate, cm.QueueP50, cm.TurnaroundP99)
 		}
+		for _, sm := range rep.Sessions {
+			verdict := "ok"
+			if !sm.Attained {
+				verdict = "MISS"
+			}
+			fmt.Printf("  %-7s %-11s arrive %3d  admit %3d  finish %3d  queue %2d t  ppl %6.3f  hit %.3f  %s\n",
+				sm.ID, sm.SLO.Class, sm.ArriveTick, sm.AdmitTick, sm.FinishTick,
+				sm.QueueTicks, sm.Point.PPL, sm.Point.HitRate, verdict)
+		}
+		fmt.Printf("(wall annotation: %.0f tok/s on the host — the only non-deterministic line)\n", rep.Wall.TokS)
 	}
 }

@@ -143,7 +143,7 @@ func Fig6(l *Lab) ([]*Table, error) {
 	}
 	denseAccs := make([]float64, len(names))
 	cells := make([]fig6Cell, len(names)*len(densities))
-	if err := forEach(len(names) * (1 + len(densities)), func(i int) error {
+	if err := forEach(len(names)*(1+len(densities)), func(i int) error {
 		ni := i / (1 + len(densities))
 		name := names[ni]
 		m := l.Model(name)

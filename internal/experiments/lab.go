@@ -35,12 +35,33 @@ type Lab struct {
 	CheckpointDir string
 	// Log receives progress lines (nil silences).
 	Log io.Writer
-	// ServeSeed seeds the serving scheduler's admission RNG (dipbench
-	// -seed), making the serve scenario's admission order reproducible.
+	// ServeSeed seeds the serving engine's arrival-shuffle RNG and the
+	// Poisson arrival trace (dipbench -seed), making the serve scenario's
+	// admission order and arrival timing reproducible.
 	ServeSeed uint64
 	// ServeSmoke shrinks the serve scenario to a CI-sized smoke run
 	// (dipbench -small).
 	ServeSmoke bool
+	// ServeWorkload restricts the serve grid to one workload kind (dipbench
+	// -workload: fixed|poisson|closed|trace; "" sweeps the open/closed-loop
+	// kinds).
+	ServeWorkload string
+	// ServeSched restricts the serve grid to one scheduler (dipbench -sched:
+	// fcfs|prio|edf; "" sweeps all).
+	ServeSched string
+	// ServeArb restricts the serve grid to one arbitration policy (dipbench
+	// -arb: exclusive|fair|greedy|shared; "" sweeps fair and shared — the
+	// two contended regimes).
+	ServeArb string
+	// ServeRate overrides the Poisson arrival rate in requests per tick
+	// (dipbench -rate; 0 = arrival rate ≈ service rate).
+	ServeRate float64
+	// ServeSLO overrides the interactive class's deadline in ticks (dipbench
+	// -slo; 0 = a generous scale-derived default).
+	ServeSLO int
+	// ServeTrace is the trace file (JSON or CSV) replayed by the trace
+	// workload (dipbench -trace).
+	ServeTrace string
 
 	tok    *data.Tokenizer
 	splits data.Splits

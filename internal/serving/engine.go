@@ -1,0 +1,147 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Run drains the workload to completion under continuous batching and
+// returns the aggregate report. Each tick the engine (1) collects the
+// workload's arrivals, shuffling same-tick groups with the seeded RNG and
+// queueing them, (2) fills free batch slots with the scheduler's picks,
+// (3) advances every active session by the token quantum, and (4) retires
+// drained sessions, reporting them back to the workload (closed-loop
+// feedback). Everything runs on the simulated tick clock, so reports are
+// bit-identical across runs and worker counts; only the Wall annotation
+// varies.
+func (e *Engine) Run() (*Report, error) {
+	if e.ran {
+		return nil, fmt.Errorf("serving: engine already ran")
+	}
+	e.ran = true
+	rng := tensor.NewRNG(e.cfg.Seed)
+	var queue []*QueueEntry
+	var finished []Finished
+	active := make([]*Session, 0, e.cfg.MaxActive)
+	e.wallStart = time.Now()
+	tick, rank, order := 0, 0, 0
+	for !e.w.Done() || len(queue) > 0 || len(active) > 0 {
+		arrivals := e.w.Next(tick, finished)
+		finished = finished[:0]
+		if len(arrivals) > 1 {
+			perm := rng.Perm(len(arrivals))
+			shuffled := make([]int, len(arrivals))
+			for p, j := range perm {
+				shuffled[p] = arrivals[j]
+			}
+			arrivals = shuffled
+		}
+		for _, idx := range arrivals {
+			if idx < 0 || idx >= len(e.reqs) {
+				return nil, fmt.Errorf("serving: workload %q yielded request index %d outside its %d-request universe",
+					e.w.Name(), idx, len(e.reqs))
+			}
+			if e.arrived[idx] {
+				return nil, fmt.Errorf("serving: workload %q yielded request %d (%q) twice", e.w.Name(), idx, e.reqs[idx].ID)
+			}
+			e.arrived[idx] = true
+			queue = append(queue, &QueueEntry{
+				Req: e.reqs[idx], Index: idx, ArriveTick: tick, Order: order,
+				Deadline: deadlineOf(tick, e.reqs[idx].SLO),
+			})
+			order++
+		}
+		for len(active) < e.cfg.MaxActive && len(queue) > 0 {
+			best := 0
+			for i := 1; i < len(queue); i++ {
+				if e.sched.Less(queue[i], queue[best]) {
+					best = i
+				}
+			}
+			qe := queue[best]
+			queue = append(queue[:best], queue[best+1:]...)
+			sess, err := e.admit(qe, rank, tick)
+			if err != nil {
+				return nil, err
+			}
+			rank++
+			active = append(active, sess)
+		}
+		if len(active) == 0 {
+			// Nothing to decode: an arrival gap in an open-loop trace or a
+			// closed-loop think pause. Fast-forward the simulated clock to
+			// the next scheduled arrival — no spinning through sparse gaps.
+			next, ok := e.w.NextArrival()
+			if !ok || next <= tick {
+				// Nothing scheduled (or scheduled in the past yet not
+				// yielded): with an empty batch no completion can ever
+				// unblock the workload, so this is a stall, not a gap.
+				return nil, fmt.Errorf("serving: workload %q stalled at tick %d: not done, nothing active, next arrival %d (ok=%v)",
+					e.w.Name(), tick, next, ok)
+			}
+			tick = next
+			continue
+		}
+		if e.cfg.Arb == ArbShared {
+			e.tickShared(active)
+		} else {
+			e.tickPartitioned(active)
+		}
+		tick++
+		live := active[:0]
+		for _, s := range active {
+			if s.stream.Done() {
+				e.retire(s, tick)
+				finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
+			} else {
+				live = append(live, s)
+			}
+		}
+		active = live
+	}
+	return e.report(tick, time.Since(e.wallStart)), nil
+}
+
+// deadlineOf resolves a request's absolute deadline tick at arrival.
+func deadlineOf(arriveTick int, slo SLO) int {
+	if slo.DeadlineTicks <= 0 {
+		return NoDeadline
+	}
+	return arriveTick + slo.DeadlineTicks
+}
+
+// tickPartitioned advances each active session by up to Quantum tokens.
+// Partitioned sessions share no mutable state — each owns its scheme clone,
+// decoder, cache, and meter — so the batch fans out over the worker pool
+// and per-session results cannot depend on scheduling.
+func (e *Engine) tickPartitioned(active []*Session) {
+	parallel.For(len(active), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := active[i].stream
+			for q := 0; q < e.cfg.Quantum && st.Step(); q++ {
+			}
+		}
+	})
+}
+
+// tickShared advances the batch in lockstep sub-steps: every sub-step
+// computes all sessions' token forwards in parallel — reading the shared
+// cache's state as of the previous commit — then applies their buffered
+// accesses serially in slot order. The shared cache therefore sees one
+// deterministic interleaving for a fixed admission order, independent of
+// worker count, and the parallel phase never races the serial writes.
+func (e *Engine) tickShared(active []*Session) {
+	for q := 0; q < e.cfg.Quantum; q++ {
+		parallel.For(len(active), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				active[i].stream.Step()
+			}
+		})
+		for _, s := range active {
+			s.stream.Commit()
+		}
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"repro/internal/eval"
 )
 
-// SessionMetrics is one finished session's record.
+// SessionMetrics is one finished session's record. Every field is measured
+// on the simulated tick clock (or the simulated device model) and is
+// bit-identical across runs and worker counts for a fixed seed.
 type SessionMetrics struct {
 	ID    string
 	Index int
@@ -16,27 +18,59 @@ type SessionMetrics struct {
 	Point  eval.Point
 	Tokens int
 	// Share is the granted cache-budget fraction.
-	Share     float64
+	Share float64
+	SLO   SLO
+	// AdmitRank is the session's admission position (0 = first admitted).
 	AdmitRank int
-	// AdmitTick/FinishTick are scheduler-time bounds (deterministic).
-	AdmitTick, FinishTick int
-	// WallQueue/WallRun are wall-clock queue wait and run time (not
-	// deterministic; excluded from the determinism contract).
-	WallQueue, WallRun time.Duration
+	// ArriveTick/AdmitTick/FinishTick are the session's simulated timeline.
+	ArriveTick, AdmitTick, FinishTick int
+	// QueueTicks is the arrival→admission queueing delay; TurnaroundTicks is
+	// the arrival→finish span.
+	QueueTicks, TurnaroundTicks int
+	// DeadlineTick is the absolute SLO deadline (NoDeadline when the request
+	// has none); Attained reports FinishTick ≤ DeadlineTick, vacuously true
+	// without a deadline.
+	DeadlineTick int
+	Attained     bool
 }
 
-// Report aggregates one engine run.
+// ClassMetrics aggregates one SLO class.
+type ClassMetrics struct {
+	// Class is the SLO class label ("default" for unlabeled requests).
+	Class    string
+	Sessions int
+	// Deadlined counts sessions with a real deadline; Attained counts those
+	// that finished by it. AttainRate is Attained/Deadlined (1 when the
+	// class has no deadlines).
+	Deadlined, Attained int
+	AttainRate          float64
+	// Queue/Turnaround percentiles are in simulated ticks.
+	QueueP50, QueueP99           float64
+	TurnaroundP50, TurnaroundP99 float64
+}
+
+// WallClock is the report's host-measured annotation — the only block
+// excluded from the determinism contract.
+type WallClock struct {
+	// Seconds is the total engine runtime on the host; TokS is aggregate
+	// decoded tokens per wall second.
+	Seconds float64
+	TokS    float64
+}
+
+// Report aggregates one engine run. Apart from Wall, every field is
+// deterministic: bit-identical across runs and worker counts for a fixed
+// seed.
 type Report struct {
+	// Workload and Sched name the run's request source and admission policy.
+	Workload string
+	Sched    string
 	Arb      ArbPolicy
 	Sessions []SessionMetrics // in submission order
 	Ticks    int
 
 	// TotalTokens is the token count decoded across all sessions.
 	TotalTokens int
-	// WallSeconds and WallTokS are measured on the host: total runtime and
-	// aggregate decoded tokens per wall second across all sessions.
-	WallSeconds float64
-	WallTokS    float64
 	// SimTokS is the simulated aggregate throughput: all sessions' traffic
 	// time-shares one memory system, so their simulated transfer times
 	// serialize.
@@ -46,18 +80,33 @@ type Report struct {
 	// SimLatencyP50/P90/P99 are percentiles, across sessions, of the mean
 	// simulated seconds per token.
 	SimLatencyP50, SimLatencyP90, SimLatencyP99 float64
-	// WallRunP50/P90/P99 are percentiles of per-session wall run time in
-	// seconds.
-	WallRunP50, WallRunP90, WallRunP99 float64
+	// QueueP50/P90/P99 are percentiles of arrival→admission delay in ticks.
+	QueueP50, QueueP90, QueueP99 float64
+	// TurnaroundP50/P90/P99 are percentiles of arrival→finish span in ticks.
+	TurnaroundP50, TurnaroundP90, TurnaroundP99 float64
+	// SLOAttainRate is attained/deadlined over sessions with real deadlines
+	// (1 when none have one). Classes breaks attainment and delay down per
+	// SLO class, sorted by class label.
+	SLOAttainRate float64
+	Classes       []ClassMetrics
+
+	// Wall is the host-measured annotation (see WallClock).
+	Wall WallClock
 }
 
-// report assembles the Report after the scheduler loop drains.
+// report assembles the Report after the engine loop drains.
 func (e *Engine) report(ticks int, wall time.Duration) *Report {
-	r := &Report{Arb: e.cfg.Arb, Ticks: ticks, WallSeconds: wall.Seconds()}
+	r := &Report{
+		Workload: e.w.Name(), Sched: e.sched.Name(), Arb: e.cfg.Arb,
+		Ticks: ticks, Wall: WallClock{Seconds: wall.Seconds()},
+	}
 	var simSeconds float64
 	var hits, misses int64
+	var deadlined, attained int
 	simLats := make([]float64, 0, len(e.sessions))
-	wallRuns := make([]float64, 0, len(e.sessions))
+	queues := make([]float64, 0, len(e.sessions))
+	turns := make([]float64, 0, len(e.sessions))
+	byClass := make(map[string][]SessionMetrics)
 	for _, s := range e.sessions {
 		if s == nil { // admission failed mid-run; Run already returned an error
 			continue
@@ -65,9 +114,12 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 		pt := s.stream.Point()
 		sm := SessionMetrics{
 			ID: s.ID, Index: s.Index, Point: pt,
-			Tokens: s.stream.Pos(), Share: s.Share, AdmitRank: s.AdmitRank,
-			AdmitTick: s.admitTick, FinishTick: s.finishTick,
-			WallQueue: s.wallAdmit.Sub(e.wallStart), WallRun: s.wallFinish.Sub(s.wallAdmit),
+			Tokens: s.stream.Pos(), Share: s.Share, SLO: s.SLO, AdmitRank: s.AdmitRank,
+			ArriveTick: s.arriveTick, AdmitTick: s.admitTick, FinishTick: s.finishTick,
+			QueueTicks:      s.admitTick - s.arriveTick,
+			TurnaroundTicks: s.finishTick - s.arriveTick,
+			DeadlineTick:    s.deadlineTick,
+			Attained:        s.finishTick <= s.deadlineTick,
 		}
 		r.Sessions = append(r.Sessions, sm)
 		r.TotalTokens += sm.Tokens
@@ -76,10 +128,18 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 		hits += h
 		misses += m
 		simLats = append(simLats, pt.LatencyS)
-		wallRuns = append(wallRuns, sm.WallRun.Seconds())
+		queues = append(queues, float64(sm.QueueTicks))
+		turns = append(turns, float64(sm.TurnaroundTicks))
+		if sm.DeadlineTick != NoDeadline {
+			deadlined++
+			if sm.Attained {
+				attained++
+			}
+		}
+		byClass[className(s.SLO)] = append(byClass[className(s.SLO)], sm)
 	}
-	if r.WallSeconds > 0 {
-		r.WallTokS = float64(r.TotalTokens) / r.WallSeconds
+	if r.Wall.Seconds > 0 {
+		r.Wall.TokS = float64(r.TotalTokens) / r.Wall.Seconds
 	}
 	if simSeconds > 0 {
 		r.SimTokS = float64(r.TotalTokens) / simSeconds
@@ -90,10 +150,61 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 	r.SimLatencyP50 = Percentile(simLats, 0.50)
 	r.SimLatencyP90 = Percentile(simLats, 0.90)
 	r.SimLatencyP99 = Percentile(simLats, 0.99)
-	r.WallRunP50 = Percentile(wallRuns, 0.50)
-	r.WallRunP90 = Percentile(wallRuns, 0.90)
-	r.WallRunP99 = Percentile(wallRuns, 0.99)
+	r.QueueP50 = Percentile(queues, 0.50)
+	r.QueueP90 = Percentile(queues, 0.90)
+	r.QueueP99 = Percentile(queues, 0.99)
+	r.TurnaroundP50 = Percentile(turns, 0.50)
+	r.TurnaroundP90 = Percentile(turns, 0.90)
+	r.TurnaroundP99 = Percentile(turns, 0.99)
+	r.SLOAttainRate = attainRate(attained, deadlined)
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.Classes = append(r.Classes, classMetrics(name, byClass[name]))
+	}
 	return r
+}
+
+// className resolves an SLO's reporting label.
+func className(slo SLO) string {
+	if slo.Class == "" {
+		return "default"
+	}
+	return slo.Class
+}
+
+// attainRate is attained/deadlined, vacuously 1 with no deadlines.
+func attainRate(attained, deadlined int) float64 {
+	if deadlined == 0 {
+		return 1
+	}
+	return float64(attained) / float64(deadlined)
+}
+
+// classMetrics aggregates one SLO class's sessions.
+func classMetrics(name string, sms []SessionMetrics) ClassMetrics {
+	cm := ClassMetrics{Class: name, Sessions: len(sms)}
+	queues := make([]float64, 0, len(sms))
+	turns := make([]float64, 0, len(sms))
+	for _, sm := range sms {
+		queues = append(queues, float64(sm.QueueTicks))
+		turns = append(turns, float64(sm.TurnaroundTicks))
+		if sm.DeadlineTick != NoDeadline {
+			cm.Deadlined++
+			if sm.Attained {
+				cm.Attained++
+			}
+		}
+	}
+	cm.AttainRate = attainRate(cm.Attained, cm.Deadlined)
+	cm.QueueP50 = Percentile(queues, 0.50)
+	cm.QueueP99 = Percentile(queues, 0.99)
+	cm.TurnaroundP50 = Percentile(turns, 0.50)
+	cm.TurnaroundP99 = Percentile(turns, 0.99)
+	return cm
 }
 
 // Percentile returns the nearest-rank p-quantile (p in [0,1]) of vals,

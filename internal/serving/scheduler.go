@@ -1,83 +1,86 @@
 package serving
 
-import (
-	"fmt"
-	"time"
+import "fmt"
 
-	"repro/internal/parallel"
-	"repro/internal/tensor"
-)
-
-// Run executes every request to completion under continuous batching and
-// returns the aggregate report. The admission order is a seeded permutation
-// of the submission order; slots refill the tick a session finishes.
-func (e *Engine) Run() (*Report, error) {
-	if e.ran {
-		return nil, fmt.Errorf("serving: engine already ran")
-	}
-	e.ran = true
-	queue := tensor.NewRNG(e.cfg.Seed).Perm(len(e.reqs))
-	active := make([]*Session, 0, e.cfg.MaxActive)
-	e.wallStart = time.Now()
-	tick, rank := 0, 0
-	for len(queue) > 0 || len(active) > 0 {
-		for len(active) < e.cfg.MaxActive && len(queue) > 0 {
-			sess, err := e.admit(queue[0], rank, tick)
-			if err != nil {
-				return nil, err
-			}
-			queue = queue[1:]
-			rank++
-			active = append(active, sess)
-		}
-		if e.cfg.Arb == ArbShared {
-			e.tickShared(active)
-		} else {
-			e.tickPartitioned(active)
-		}
-		tick++
-		live := active[:0]
-		for _, s := range active {
-			if s.stream.Done() {
-				e.retire(s, tick)
-			} else {
-				live = append(live, s)
-			}
-		}
-		active = live
-	}
-	return e.report(tick, time.Since(e.wallStart)), nil
+// QueueEntry is one request waiting for a batch slot.
+type QueueEntry struct {
+	Req   Request
+	Index int // submission index
+	// ArriveTick is when the workload released the request.
+	ArriveTick int
+	// Order is the seeded admission tiebreak: entries arriving on the same
+	// tick are ranked by a shuffle drawn from the engine's seeded RNG, and
+	// Order increases monotonically across ticks — so sorting by Order alone
+	// is seeded FCFS.
+	Order int
+	// Deadline is the absolute SLO deadline tick (ArriveTick +
+	// SLO.DeadlineTicks), or NoDeadline when the request has none.
+	Deadline int
 }
 
-// tickPartitioned advances each active session by up to Quantum tokens.
-// Partitioned sessions share no mutable state — each owns its scheme clone,
-// decoder, cache, and meter — so the batch fans out over the worker pool
-// and per-session results cannot depend on scheduling.
-func (e *Engine) tickPartitioned(active []*Session) {
-	parallel.For(len(active), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			st := active[i].stream
-			for q := 0; q < e.cfg.Quantum && st.Step(); q++ {
-			}
-		}
-	})
+// NoDeadline is the Deadline of a request without an SLO deadline; it sorts
+// after every real deadline under EDF.
+const NoDeadline = int(^uint(0) >> 1)
+
+// Scheduler orders the admission queue. Whenever a batch slot frees, the
+// engine admits the queued entry that Less ranks first. Implementations
+// must be total orders over live entries — Order is unique, so ending every
+// comparison with it guarantees that (and keeps admission deterministic).
+type Scheduler interface {
+	// Name identifies the policy (CLI-compatible: see ParseScheduler).
+	Name() string
+	// Less reports whether a should be admitted before b.
+	Less(a, b *QueueEntry) bool
 }
 
-// tickShared advances the batch in lockstep sub-steps: every sub-step
-// computes all sessions' token forwards in parallel — reading the shared
-// cache's state as of the previous commit — then applies their buffered
-// accesses serially in slot order. The shared cache therefore sees one
-// deterministic interleaving for a fixed admission order, independent of
-// worker count, and the parallel phase never races the serial writes.
-func (e *Engine) tickShared(active []*Session) {
-	for q := 0; q < e.cfg.Quantum; q++ {
-		parallel.For(len(active), 1, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				active[i].stream.Step()
-			}
-		})
-		for _, s := range active {
-			s.stream.Commit()
+// fcfs admits in arrival order with the seeded same-tick shuffle — exactly
+// PR 2's seeded admission when every request arrives at tick 0.
+type fcfs struct{}
+
+// FCFS returns the first-come-first-served scheduler (the default).
+func FCFS() Scheduler { return fcfs{} }
+
+func (fcfs) Name() string               { return "fcfs" }
+func (fcfs) Less(a, b *QueueEntry) bool { return a.Order < b.Order }
+
+// priority admits the highest SLO priority first, FCFS within a class.
+type priority struct{}
+
+// Priority returns the strict-priority scheduler.
+func Priority() Scheduler { return priority{} }
+
+func (priority) Name() string { return "prio" }
+func (priority) Less(a, b *QueueEntry) bool {
+	if pa, pb := a.Req.SLO.Priority, b.Req.SLO.Priority; pa != pb {
+		return pa > pb
+	}
+	return a.Order < b.Order
+}
+
+// edf admits the earliest absolute deadline first; deadline-less requests
+// rank last, FCFS among themselves.
+type edf struct{}
+
+// EDF returns the earliest-deadline-first scheduler.
+func EDF() Scheduler { return edf{} }
+
+func (edf) Name() string { return "edf" }
+func (edf) Less(a, b *QueueEntry) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.Order < b.Order
+}
+
+// Schedulers lists every built-in scheduler in declaration order.
+func Schedulers() []Scheduler { return []Scheduler{FCFS(), Priority(), EDF()} }
+
+// ParseScheduler maps a CLI name to its scheduler.
+func ParseScheduler(s string) (Scheduler, error) {
+	for _, sched := range Schedulers() {
+		if sched.Name() == s {
+			return sched, nil
 		}
 	}
+	return nil, fmt.Errorf("serving: unknown scheduler %q (fcfs|prio|edf)", s)
 }

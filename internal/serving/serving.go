@@ -4,12 +4,15 @@
 // server-side analogue of the paper's on-device setting: per-user decode
 // streams contending for a fixed weight-cache allocation.
 //
-// The engine advances sessions in ticks. Each tick it admits queued
-// sessions into free batch slots (continuous batching: a slot refills the
-// moment its session finishes, in an admission order drawn from a seeded
-// RNG), fans the active batch out over the shared worker pool, and advances
-// every active session by a token quantum through eval.Stream — the same
-// per-token machinery SystemEvaluate uses, so a session evaluated alone is
+// Requests enter through a Workload — a deterministic source of timestamped
+// arrivals on the simulated tick clock (FixedBatch, PoissonArrivals,
+// ClosedLoop, or a replayed Trace) — each carrying an SLO class (priority
+// and deadline ticks). A pluggable Scheduler (FCFS, strict priority, or
+// earliest-deadline-first) orders the admission queue; continuous batching
+// refills a slot the moment its session finishes. Each tick the engine fans
+// the active batch out over the shared worker pool and advances every
+// session by a token quantum through eval.Stream — the same per-token
+// machinery SystemEvaluate uses, so a session evaluated alone is
 // bit-identical to a solo SystemEvaluate run.
 //
 // Cache arbitration (see ArbPolicy) decides how the plan's DRAM cache
@@ -18,11 +21,13 @@
 // claims (greedy), or one genuinely shared cache with tick-ordered access
 // commits (shared).
 //
-// Determinism contract: given a fixed seed (and therefore admission order),
-// every per-session output and every cache statistic is bit-identical for
-// any worker count. Partitioned sessions share no mutable state; the shared
-// cache is only written in the serial commit phase, in slot order. Only the
-// wall-clock fields of the Report vary between runs.
+// Determinism contract: the engine runs on simulated time. Given a fixed
+// seed (same-tick arrivals are shuffled by a seeded RNG) every arrival,
+// admission, per-session output, queueing delay, SLO verdict, and cache
+// statistic is bit-identical for any worker count. Partitioned sessions
+// share no mutable state; the shared cache is only written in the serial
+// commit phase, in slot order. Wall-clock time appears only in the Report's
+// Wall annotation.
 package serving
 
 import (
@@ -36,13 +41,26 @@ import (
 	"repro/internal/sparsity"
 )
 
-// Request is one queued decode job: a token stream evaluated under a
-// sparsity scheme. The scheme is cloned at admission, so the same instance
-// may back many requests.
+// SLO is a request's service-level objective class.
+type SLO struct {
+	// Class labels the request for per-class reporting ("" reports as
+	// "default"). Classes are free-form — "interactive", "batch", ….
+	Class string
+	// Priority orders admission under the priority scheduler (higher wins).
+	Priority int
+	// DeadlineTicks is the budget, in simulated ticks after arrival, for the
+	// session to finish; 0 means no deadline (vacuously attained).
+	DeadlineTicks int
+}
+
+// Request is one decode job: a token stream evaluated under a sparsity
+// scheme, with an SLO class. The scheme is cloned at admission, so the same
+// instance may back many requests.
 type Request struct {
 	ID     string
 	Scheme sparsity.Scheme
 	Tokens []int
+	SLO    SLO
 }
 
 // Config tunes the engine.
@@ -53,6 +71,8 @@ type Config struct {
 	System eval.SystemConfig
 	// Arb selects the cache-budget arbitration policy.
 	Arb ArbPolicy
+	// Sched orders the admission queue (nil = FCFS).
+	Sched Scheduler
 	// MaxActive is the batch width: how many sessions decode concurrently.
 	// Defaults to 4. It is deliberately not derived from the worker-pool
 	// size — batch width shapes cache arbitration (fair shares are
@@ -63,16 +83,17 @@ type Config struct {
 	// (default 8). Under ArbShared every token is individually committed to
 	// the shared cache in slot order, regardless of quantum.
 	Quantum int
-	// Seed drives the admission-order RNG. Fixed seed ⇒ fixed admission
-	// order ⇒ bit-identical outputs and cache statistics.
+	// Seed drives the same-tick arrival shuffle. Fixed seed ⇒ fixed
+	// admission tiebreaks ⇒ bit-identical outputs and cache statistics.
 	Seed uint64
 }
 
 // Session is one admitted request's live state.
 type Session struct {
 	ID    string
-	Index int // submission index in the request slice
-	// AdmitRank is the session's position in the seeded admission order.
+	Index int // submission index in the workload's request universe
+	SLO   SLO
+	// AdmitRank is the session's admission position (0 = first admitted).
 	AdmitRank int
 	// Share is the granted fraction of the cache budget (1 under ArbShared:
 	// the whole cache, shared).
@@ -81,27 +102,32 @@ type Session struct {
 	stream *eval.Stream
 	claim  float64 // greedy pool claim, released at retirement
 
-	admitTick, finishTick int
-	wallAdmit, wallFinish time.Time
+	// Simulated-clock timeline: arrival (workload), admission (scheduler),
+	// finish (retirement), and the absolute SLO deadline (NoDeadline = none).
+	arriveTick, admitTick, finishTick, deadlineTick int
 }
 
-// Engine runs a fixed batch of requests to completion.
+// Engine drains one workload to completion.
 type Engine struct {
 	m         *model.Model
 	cfg       Config
-	reqs      []Request
+	w         Workload
+	reqs      []Request // the workload's request universe
+	sched     Scheduler
 	plan      *hwsim.Plan
 	shared    *cache.ModelCache // non-nil under ArbShared
 	sessions  []*Session        // by submission index, filled at admission
+	arrived   []bool            // duplicate-arrival guard, by submission index
 	claimed   float64           // greedy pool state
 	ran       bool
 	wallStart time.Time
 }
 
 // NewEngine validates the configuration and lays out the shared memory
-// plan. The plan's weight groups are the union over all request schemes, so
-// heterogeneous scheme mixes are priced consistently.
-func NewEngine(m *model.Model, cfg Config, reqs []Request) (*Engine, error) {
+// plan. The plan's weight groups are the union over the workload's full
+// request universe, so heterogeneous scheme mixes are priced consistently
+// no matter when each request arrives.
+func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	if err := cfg.System.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,8 +137,15 @@ func NewEngine(m *model.Model, cfg Config, reqs []Request) (*Engine, error) {
 	if cfg.Arb < ArbExclusive || cfg.Arb > ArbShared {
 		return nil, fmt.Errorf("serving: unknown arbitration policy %d", cfg.Arb)
 	}
+	if w == nil {
+		return nil, fmt.Errorf("serving: no workload")
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = FCFS()
+	}
+	reqs := w.Requests()
 	if len(reqs) == 0 {
-		return nil, fmt.Errorf("serving: no requests")
+		return nil, fmt.Errorf("serving: workload %q has no requests", w.Name())
 	}
 	if cfg.MaxActive <= 0 {
 		cfg.MaxActive = 4
@@ -128,6 +161,9 @@ func NewEngine(m *model.Model, cfg Config, reqs []Request) (*Engine, error) {
 		if len(r.Tokens) == 0 {
 			return nil, fmt.Errorf("serving: request %d (%q) has no tokens", i, r.ID)
 		}
+		if r.SLO.DeadlineTicks < 0 {
+			return nil, fmt.Errorf("serving: request %d (%q) has negative deadline %d", i, r.ID, r.SLO.DeadlineTicks)
+		}
 		used := hwsim.ProbeGroups(sparsity.Clone(r.Scheme), m)
 		for g := range groups {
 			groups[g] = groups[g] || used[g]
@@ -141,7 +177,10 @@ func NewEngine(m *model.Model, cfg Config, reqs []Request) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{m: m, cfg: cfg, reqs: reqs, plan: plan, sessions: make([]*Session, len(reqs))}
+	e := &Engine{
+		m: m, cfg: cfg, w: w, reqs: reqs, sched: cfg.Sched, plan: plan,
+		sessions: make([]*Session, len(reqs)), arrived: make([]bool, len(reqs)),
+	}
 	if cfg.Arb == ArbShared {
 		e.shared = plan.NewCache(cfg.System.Policy)
 	}
@@ -154,12 +193,12 @@ func (e *Engine) Plan() *hwsim.Plan { return e.plan }
 // SharedCache returns the shared cache under ArbShared, else nil.
 func (e *Engine) SharedCache() *cache.ModelCache { return e.shared }
 
-// admit builds the live session for request idx with an arbitrated cache.
-func (e *Engine) admit(idx, rank, tick int) (*Session, error) {
-	req := e.reqs[idx]
+// admit builds the live session for a queued entry with an arbitrated cache.
+func (e *Engine) admit(qe *QueueEntry, rank, tick int) (*Session, error) {
+	req := qe.Req
 	sess := &Session{
-		ID: req.ID, Index: idx, AdmitRank: rank,
-		admitTick: tick, wallAdmit: time.Now(),
+		ID: req.ID, Index: qe.Index, SLO: req.SLO, AdmitRank: rank,
+		arriveTick: qe.ArriveTick, admitTick: tick, deadlineTick: qe.Deadline,
 	}
 	scheme := sparsity.Clone(req.Scheme)
 	var (
@@ -180,14 +219,13 @@ func (e *Engine) admit(idx, rank, tick int) (*Session, error) {
 		return nil, fmt.Errorf("serving: admitting %q: %w", req.ID, err)
 	}
 	sess.stream = st
-	e.sessions[idx] = sess
+	e.sessions[qe.Index] = sess
 	return sess, nil
 }
 
 // retire finalizes a finished session and releases any greedy claim.
 func (e *Engine) retire(sess *Session, tick int) {
 	sess.finishTick = tick
-	sess.wallFinish = time.Now()
 	e.claimed -= sess.claim
 	sess.claim = 0
 }

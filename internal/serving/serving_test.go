@@ -79,7 +79,7 @@ func TestExclusiveSessionsMatchSoloSystemEvaluateBitForBit(t *testing.T) {
 	reqs := requests(t, k,
 		func(int) sparsity.Scheme { return sparsity.NewDIPCA(0.5, 0.2) },
 		func(i int) int { return 3 + i%2 })
-	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbExclusive, MaxActive: k, Quantum: 5, Seed: 11}, reqs)
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbExclusive, MaxActive: k, Quantum: 5, Seed: 11}, FixedBatch(reqs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func runShared(t *testing.T, seed uint64) (*Report, cache.Stats, int) {
 	reqs := requests(t, k,
 		func(int) sparsity.Scheme { return sparsity.NewDIPCA(0.5, 0.2) },
 		func(i int) int { return 2 + i%3 })
-	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbShared, MaxActive: 3, Quantum: 4, Seed: seed}, reqs)
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbShared, MaxActive: 3, Quantum: 4, Seed: seed}, FixedBatch(reqs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestAdmissionOrderIsSeededAndReproducible(t *testing.T) {
 		reqs := requests(t, 5,
 			func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
 			func(int) int { return 2 })
-		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 1, Quantum: 16, Seed: seed}, reqs)
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 1, Quantum: 16, Seed: seed}, FixedBatch(reqs))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +214,7 @@ func TestContinuousBatchingBackfillsFreedSlots(t *testing.T) {
 		reqs := requests(t, 4,
 			func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
 			func(i int) int { return []int{4, 1, 1, 2}[i] })
-		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: maxActive, Quantum: 8, Seed: 3}, reqs)
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: maxActive, Quantum: 8, Seed: 3}, FixedBatch(reqs))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +258,7 @@ func TestFairShareAndGreedyGrants(t *testing.T) {
 		reqs := requests(t, 3,
 			func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
 			func(int) int { return 3 })
-		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: arb, MaxActive: 3, Quantum: 8, Seed: 5}, reqs)
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: arb, MaxActive: 3, Quantum: 8, Seed: 5}, FixedBatch(reqs))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -313,7 +313,7 @@ func TestReportAggregates(t *testing.T) {
 	reqs := requests(t, 4,
 		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
 		func(i int) int { return 1 + i%2 })
-	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 2, Quantum: 8, Seed: 2}, reqs)
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 2, Quantum: 8, Seed: 2}, FixedBatch(reqs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,8 +328,11 @@ func TestReportAggregates(t *testing.T) {
 	if rep.TotalTokens != want {
 		t.Fatalf("TotalTokens %d, want %d", rep.TotalTokens, want)
 	}
-	if rep.SimTokS <= 0 || rep.WallTokS <= 0 || rep.WallSeconds <= 0 {
+	if rep.SimTokS <= 0 || rep.Wall.TokS <= 0 || rep.Wall.Seconds <= 0 {
 		t.Fatalf("non-positive throughput aggregates: %+v", rep)
+	}
+	if rep.Workload != "fixed" || rep.Sched != "fcfs" {
+		t.Fatalf("report names wrong workload/scheduler: %q/%q", rep.Workload, rep.Sched)
 	}
 	if rep.SimLatencyP50 > rep.SimLatencyP90 || rep.SimLatencyP90 > rep.SimLatencyP99 {
 		t.Fatalf("latency percentiles out of order: %v %v %v", rep.SimLatencyP50, rep.SimLatencyP90, rep.SimLatencyP99)
@@ -346,21 +349,29 @@ func TestEngineRejections(t *testing.T) {
 		func(int) int { return 1 })
 	bad := sysCfg()
 	bad.Policy = cache.PolicyBelady
-	if _, err := NewEngine(zoo.m, Config{System: bad}, good); err == nil {
+	if _, err := NewEngine(zoo.m, Config{System: bad}, FixedBatch(good)); err == nil {
 		t.Fatal("Belady eviction must be rejected for serving")
 	}
 	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, nil); err == nil {
+		t.Fatal("nil workload must be rejected")
+	}
+	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, FixedBatch(nil)); err == nil {
 		t.Fatal("empty request batch must be rejected")
 	}
-	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, []Request{{ID: "x", Tokens: []int{1}}}); err == nil {
+	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, FixedBatch([]Request{{ID: "x", Tokens: []int{1}}})); err == nil {
 		t.Fatal("nil scheme must be rejected")
+	}
+	if _, err := NewEngine(zoo.m, Config{System: sysCfg()}, FixedBatch([]Request{
+		{ID: "x", Scheme: sparsity.NewDIP(0.5), Tokens: []int{1}, SLO: SLO{DeadlineTicks: -1}},
+	})); err == nil {
+		t.Fatal("negative deadline must be rejected")
 	}
 	invalid := sysCfg()
 	invalid.Device.FlashBandwidth = 0
-	if _, err := NewEngine(zoo.m, Config{System: invalid}, good); err == nil {
+	if _, err := NewEngine(zoo.m, Config{System: invalid}, FixedBatch(good)); err == nil {
 		t.Fatal("invalid SystemConfig must be rejected")
 	}
-	e, err := NewEngine(zoo.m, Config{System: sysCfg()}, good)
+	e, err := NewEngine(zoo.m, Config{System: sysCfg()}, FixedBatch(good))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,208 @@
+package serving
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sparsity"
+)
+
+func testBinder(t *testing.T) TraceBinder {
+	t.Helper()
+	return TraceBinder{
+		Corpus: zoo.tokens,
+		Scheme: func(name string) (sparsity.Scheme, error) {
+			switch name {
+			case "", "dip":
+				return sparsity.NewDIP(0.5), nil
+			case "dipca":
+				return sparsity.NewDIPCA(0.5, 0.2), nil
+			}
+			return nil, fmt.Errorf("unknown scheme %q", name)
+		},
+	}
+}
+
+func TestParseTraceJSONAndCSVAgree(t *testing.T) {
+	jsonSrc := `[
+		{"id": "a", "tick": 0, "tokens": 32, "class": "interactive", "priority": 2, "deadline_ticks": 40},
+		{"id": "b", "tick": 3, "tokens": 64, "start": 256, "scheme": "dipca"}
+	]`
+	csvSrc := "id,tick,tokens,start,class,priority,deadline_ticks,scheme\n" +
+		"a,0,32,0,interactive,2,40,\n" +
+		"b,3,64,256,,,,dipca\n"
+	je, err := ParseTrace(strings.NewReader(jsonSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := ParseTrace(strings.NewReader(csvSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(je) != 2 || len(ce) != 2 {
+		t.Fatalf("entry counts: json %d csv %d", len(je), len(ce))
+	}
+	for i := range je {
+		if je[i] != ce[i] {
+			t.Fatalf("entry %d differs between formats:\njson %+v\ncsv  %+v", i, je[i], ce[i])
+		}
+	}
+	want := TraceEntry{ID: "a", Tick: 0, Tokens: 32, Class: "interactive", Priority: 2, DeadlineTicks: 40}
+	if je[0] != want {
+		t.Fatalf("parsed %+v, want %+v", je[0], want)
+	}
+}
+
+func TestParseTraceRejections(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":          "",
+		"bad json":       `[{"id":}]`,
+		"unknown field":  `[{"id": "a", "tick": 0, "tokens": 1, "wat": 2}]`,
+		"missing column": "id,tick\nx,0\n",
+		"unknown column": "id,tick,tokens,wat\nx,0,1,2\n",
+		"non-numeric":    "id,tick,tokens\nx,zero,1\n",
+		"ragged csv":     "id,tick,tokens\nx,0\n",
+	} {
+		if _, err := ParseTrace(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected parse error", name)
+		}
+	}
+}
+
+// A replayed trace drives the engine end to end: arrivals land on the
+// file's ticks (in order, stable within a tick), SLO classes come through,
+// and binding errors are loud.
+func TestTraceWorkloadReplay(t *testing.T) {
+	trained(t)
+	entries := []TraceEntry{
+		{ID: "late", Tick: 9, Tokens: 32, Start: 0, Class: "batch"},
+		{ID: "first", Tick: 0, Tokens: 32, Start: 256, Class: "interactive", Priority: 1, DeadlineTicks: 400},
+		{ID: "second", Tick: 0, Tokens: 32, Start: 512, Scheme: "dipca"},
+	}
+	w, err := TraceWorkload(entries, testBinder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 2, Quantum: 8, Seed: 4}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "trace" {
+		t.Fatalf("workload name %q", rep.Workload)
+	}
+	byID := map[string]SessionMetrics{}
+	for _, sm := range rep.Sessions {
+		byID[sm.ID] = sm
+	}
+	if byID["first"].ArriveTick != 0 || byID["second"].ArriveTick != 0 || byID["late"].ArriveTick != 9 {
+		t.Fatalf("arrival ticks wrong: %+v", rep.Sessions)
+	}
+	// Stable sort: within tick 0 the file order (first, second) is kept as
+	// submission order.
+	if byID["first"].Index != 0 || byID["second"].Index != 1 || byID["late"].Index != 2 {
+		t.Fatalf("submission order not stable by tick: %+v", rep.Sessions)
+	}
+	if byID["first"].SLO != (SLO{Class: "interactive", Priority: 1, DeadlineTicks: 400}) {
+		t.Fatalf("SLO lost in binding: %+v", byID["first"].SLO)
+	}
+	if !byID["first"].Attained {
+		t.Fatalf("generous traced deadline missed: %+v", byID["first"])
+	}
+
+	bad := []struct {
+		name    string
+		entries []TraceEntry
+		binder  TraceBinder
+	}{
+		{"no entries", nil, testBinder(t)},
+		{"no binder scheme", []TraceEntry{{Tokens: 1}}, TraceBinder{Corpus: zoo.tokens}},
+		{"negative tick", []TraceEntry{{Tick: -1, Tokens: 1}}, testBinder(t)},
+		{"zero tokens", []TraceEntry{{Tick: 0, Tokens: 0}}, testBinder(t)},
+		{"outside corpus", []TraceEntry{{Tick: 0, Tokens: 1, Start: len(zoo.tokens)}}, testBinder(t)},
+		{"unknown scheme", []TraceEntry{{Tick: 0, Tokens: 1, Scheme: "wat"}}, testBinder(t)},
+	}
+	for _, tc := range bad {
+		if _, err := TraceWorkload(tc.entries, tc.binder); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// A buggy workload (out-of-range or duplicate indices) must fail loudly,
+// not corrupt the run.
+type brokenWorkload struct {
+	reqs []Request
+	emit [][]int
+	tick int
+}
+
+func (b *brokenWorkload) Name() string        { return "broken" }
+func (b *brokenWorkload) Requests() []Request { return b.reqs }
+func (b *brokenWorkload) Done() bool          { return b.tick >= len(b.emit) }
+
+// NextArrival lies (a past tick, never delivered) — the engine must detect
+// the stall instead of fast-forwarding in place forever.
+func (b *brokenWorkload) NextArrival() (int, bool) { return 0, true }
+func (b *brokenWorkload) Next(int, []Finished) []int {
+	if b.tick < len(b.emit) {
+		out := b.emit[b.tick]
+		b.tick++
+		return out
+	}
+	return nil
+}
+
+func TestEngineRejectsBrokenWorkloads(t *testing.T) {
+	trained(t)
+	reqs := requests(t, 2,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 1 })
+	for name, emit := range map[string][][]int{
+		"out of range": {{0}, {5}},
+		"duplicate":    {{0}, {0}, {1}},
+		"stalled":      {{}, {}}, // not done, nothing active, no credible next arrival
+	} {
+		e, err := NewEngine(zoo.m, Config{System: sysCfg(), Seed: 1}, &brokenWorkload{reqs: reqs, emit: emit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err == nil {
+			t.Fatalf("%s: expected run error", name)
+		}
+	}
+}
+
+// Sparse traces must not cost one engine iteration per idle tick: a
+// million-tick arrival gap fast-forwards the simulated clock in one jump,
+// and the reported timeline still reflects the gap.
+func TestEngineFastForwardsSparseGaps(t *testing.T) {
+	trained(t)
+	const gap = 50_000_000
+	entries := []TraceEntry{
+		{ID: "early", Tick: 0, Tokens: 32, Start: 0},
+		{ID: "late", Tick: gap, Tokens: 32, Start: 256},
+	}
+	w, err := TraceWorkload(entries, testBinder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(zoo.m, Config{System: sysCfg(), Arb: ArbFairShare, MaxActive: 1, Quantum: 8, Seed: 1}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions[1].ArriveTick != gap || rep.Sessions[1].FinishTick <= gap {
+		t.Fatalf("late session timeline wrong: %+v", rep.Sessions[1])
+	}
+	if rep.Ticks <= gap {
+		t.Fatalf("tick clock did not advance past the gap: %d", rep.Ticks)
+	}
+}

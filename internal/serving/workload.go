@@ -1,0 +1,202 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Workload is a deterministic source of timestamped requests on the
+// engine's simulated tick clock. A workload declares its full request
+// universe up front (Requests — the engine needs it to lay out the shared
+// memory plan) and then releases submission indices tick by tick through
+// Next. Timing may depend on completions (closed-loop think time), which
+// the engine reports through the finished argument, so a workload is a
+// deterministic function of its construction parameters and the engine's
+// (deterministic) retirement ticks.
+type Workload interface {
+	// Name identifies the workload kind (CLI-compatible: fixed, poisson,
+	// closed, trace).
+	Name() string
+	// Requests returns every request the workload will ever yield. The slice
+	// position is the request's submission Index; the engine validates and
+	// plans over it once and never mutates it.
+	Requests() []Request
+	// Next is called once per simulated tick, in tick order, with the
+	// sessions retired since the previous call (nil-safe; the slice is
+	// reused — do not retain it). It returns the submission indices arriving
+	// this tick. When the engine is idle it fast-forwards the clock over
+	// ticks NextArrival rules out, so those are skipped.
+	Next(tick int, finished []Finished) []int
+	// NextArrival returns the earliest tick at which a currently scheduled
+	// request arrives (ok = false when none is scheduled — either the
+	// workload is done, or future arrivals depend on completions not yet
+	// reported). The engine uses it to fast-forward idle gaps in sparse
+	// traces instead of spinning tick by tick.
+	NextArrival() (tick int, ok bool)
+	// Done reports that no current or future arrivals remain.
+	Done() bool
+}
+
+// Finished notifies a workload that one session retired.
+type Finished struct {
+	Index int // submission index
+	ID    string
+	Tick  int // retirement tick
+}
+
+// WorkloadNames lists the built-in workload kinds in CLI order.
+func WorkloadNames() []string { return []string{"fixed", "poisson", "closed", "trace"} }
+
+// fixedBatch releases every request at tick 0 — PR 2's fixed-batch serving
+// as a Workload adapter. Combined with the FCFS scheduler it reproduces the
+// old engine bit for bit: same-tick arrivals are shuffled by the engine's
+// seeded RNG, which for one batch at tick 0 is exactly the old seeded
+// admission permutation.
+type fixedBatch struct {
+	reqs    []Request
+	emitted bool
+}
+
+// FixedBatch wraps a request slice as an all-arrive-at-tick-0 workload.
+func FixedBatch(reqs []Request) Workload { return &fixedBatch{reqs: reqs} }
+
+func (f *fixedBatch) Name() string        { return "fixed" }
+func (f *fixedBatch) Requests() []Request { return f.reqs }
+func (f *fixedBatch) Done() bool          { return f.emitted }
+
+func (f *fixedBatch) NextArrival() (int, bool) { return 0, !f.emitted }
+
+func (f *fixedBatch) Next(tick int, _ []Finished) []int {
+	if f.emitted {
+		return nil
+	}
+	f.emitted = true
+	out := make([]int, len(f.reqs))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// poisson is an open-loop arrival process: requests arrive in submission
+// order with exponential inter-arrival gaps at a fixed mean rate. Arrival
+// ticks are drawn once at construction from a dedicated seeded RNG, so the
+// trace is independent of engine state.
+type poisson struct {
+	reqs   []Request
+	ticks  []int // nondecreasing arrival tick per submission index
+	cursor int
+}
+
+// PoissonArrivals builds a seeded open-loop trace over reqs: arrivals are a
+// Poisson process with the given mean rate in requests per tick.
+func PoissonArrivals(reqs []Request, rate float64, seed uint64) (Workload, error) {
+	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return nil, fmt.Errorf("serving: poisson rate must be a positive requests/tick, got %v", rate)
+	}
+	rng := tensor.NewRNG(seed)
+	ticks := make([]int, len(reqs))
+	t := 0.0
+	for i := range ticks {
+		u := rng.Float64()
+		t += -math.Log(1-u) / rate
+		ticks[i] = int(t)
+	}
+	return &poisson{reqs: reqs, ticks: ticks}, nil
+}
+
+func (p *poisson) Name() string        { return "poisson" }
+func (p *poisson) Requests() []Request { return p.reqs }
+func (p *poisson) Done() bool          { return p.cursor == len(p.reqs) }
+
+func (p *poisson) NextArrival() (int, bool) {
+	if p.cursor == len(p.ticks) {
+		return 0, false
+	}
+	return p.ticks[p.cursor], true
+}
+
+func (p *poisson) Next(tick int, _ []Finished) []int {
+	var out []int
+	for p.cursor < len(p.ticks) && p.ticks[p.cursor] <= tick {
+		out = append(out, p.cursor)
+		p.cursor++
+	}
+	return out
+}
+
+// closedLoop models N users replaying per-user scripts: each user issues
+// their first request at tick 0, then issues the next one thinkTicks after
+// the previous one retires. The request universe is the scripts flattened
+// in user order, so arrival *timing* is feedback-driven while the universe
+// (and therefore the memory plan) is fixed.
+type closedLoop struct {
+	reqs    []Request
+	user    []int // submission index -> user
+	cursor  []int // user -> next submission index to issue, or -1
+	last    []int // user -> last submission index of their script
+	think   int
+	due     map[int][]int // tick -> submission indices, in schedule order
+	emitted int
+}
+
+// ClosedLoop builds an N-user think-time workload from per-user scripts.
+// Empty scripts are allowed (the user never issues anything).
+func ClosedLoop(scripts [][]Request, thinkTicks int) (Workload, error) {
+	if thinkTicks < 0 {
+		return nil, fmt.Errorf("serving: closed-loop think time must be non-negative ticks, got %d", thinkTicks)
+	}
+	c := &closedLoop{think: thinkTicks, due: make(map[int][]int)}
+	for u, script := range scripts {
+		if len(script) == 0 {
+			continue
+		}
+		first := len(c.reqs)
+		for _, r := range script {
+			c.user = append(c.user, u)
+			c.reqs = append(c.reqs, r)
+		}
+		for len(c.cursor) <= u {
+			c.cursor = append(c.cursor, -1)
+			c.last = append(c.last, -1)
+		}
+		c.cursor[u] = first + 1
+		c.last[u] = len(c.reqs) - 1
+		c.due[0] = append(c.due[0], first)
+	}
+	if len(c.reqs) == 0 {
+		return nil, fmt.Errorf("serving: closed-loop workload has no requests")
+	}
+	return c, nil
+}
+
+func (c *closedLoop) Name() string        { return "closed" }
+func (c *closedLoop) Requests() []Request { return c.reqs }
+func (c *closedLoop) Done() bool          { return c.emitted == len(c.reqs) }
+
+func (c *closedLoop) NextArrival() (int, bool) {
+	best, ok := 0, false
+	for tick := range c.due {
+		if !ok || tick < best {
+			best, ok = tick, true
+		}
+	}
+	return best, ok
+}
+
+func (c *closedLoop) Next(tick int, finished []Finished) []int {
+	// Schedule follow-ups first so a zero think time re-issues this tick.
+	for _, f := range finished {
+		u := c.user[f.Index]
+		if next := c.cursor[u]; next >= 0 && next <= c.last[u] {
+			c.cursor[u] = next + 1
+			c.due[tick+c.think] = append(c.due[tick+c.think], next)
+		}
+	}
+	out := c.due[tick]
+	delete(c.due, tick)
+	c.emitted += len(out)
+	return out
+}
