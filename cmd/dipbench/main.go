@@ -14,9 +14,10 @@
 //	dipbench -serve -seed 42          # reproducible arrivals and admission order
 //	dipbench -serve -workload poisson -rate 0.2 -sched edf -slo 200
 //	dipbench -serve -workload trace -trace trace.json -arb shared
+//	dipbench -serve -small -fuse both  # fused vs per-session decode, one report
 //
 // The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
-// -sched, -arb) are rejected without -serve (or -exp serve / -exp all),
+// -sched, -arb, -fuse) are rejected without -serve (or -exp serve / -exp all),
 // -small conflicts with an explicit -scale paper, and -slo/-rate are
 // rejected where they would be ignored (trace files carry their own
 // deadlines; only poisson has a rate) — all hard errors, not silent
@@ -94,6 +95,7 @@ func run() int {
 		slo        = flag.Int("slo", 0, "with -serve: interactive-class SLO deadline in ticks (0 = scale default)")
 		tracePath  = flag.String("trace", "", "with -serve -workload trace: trace file (JSON or CSV) to replay")
 		sched      = flag.String("sched", "", "with -serve: restrict the grid to one scheduler (fcfs|prio|edf)")
+		fuse       = flag.String("fuse", "", "with -serve: batched decode path (on|off|both; both runs each cell through both paths, checks the reports match bit for bit, and records both wall throughputs)")
 		arb        = flag.String("arb", "", "with -serve: restrict the grid to one arbitration policy (exclusive|fair|greedy|shared)")
 		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -121,7 +123,7 @@ func run() int {
 	// shaping flags pass through; -small stays serve-only because it forces
 	// the scale, which would rescale every other experiment too.
 	servesToo := *exp == "serve" || *exp == "all"
-	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "arb"} {
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "arb", "fuse"} {
 		if set[f] && !servesToo {
 			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenario; add -serve (or -exp serve / -exp all)\n", f)
 			return 2
@@ -139,6 +141,10 @@ func run() int {
 			return 2
 		}
 		*scale = "test"
+	}
+	if *fuse != "" && *fuse != "on" && *fuse != "off" && *fuse != "both" {
+		fmt.Fprintf(os.Stderr, "dipbench: -fuse must be on, off, or both, got %q\n", *fuse)
+		return 2
 	}
 	if *workload != "" {
 		known := false
@@ -227,6 +233,7 @@ func run() int {
 	lab.ServeRate = *rate
 	lab.ServeSLO = *slo
 	lab.ServeTrace = *tracePath
+	lab.ServeFuse = *fuse
 	if *verbose {
 		lab.Log = os.Stderr
 	}

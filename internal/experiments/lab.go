@@ -62,6 +62,12 @@ type Lab struct {
 	// ServeTrace is the trace file (JSON or CSV) replayed by the trace
 	// workload (dipbench -trace).
 	ServeTrace string
+	// ServeFuse selects the serving decode path (dipbench -fuse): "on" (or
+	// "", the default) uses the fused multi-RHS batched step, "off" the
+	// per-session path, and "both" runs every grid cell through both paths,
+	// asserts their simulated reports are bit-identical, and records both
+	// wall throughputs.
+	ServeFuse string
 
 	tok    *data.Tokenizer
 	splits data.Splits

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"reflect"
 
 	"repro/internal/cache"
 	"repro/internal/eval"
@@ -173,40 +174,82 @@ func Serve(l *Lab) ([]*Table, error) {
 		arbs = []serving.ArbPolicy{a}
 	}
 
+	fuse := l.ServeFuse
+	if fuse == "" {
+		fuse = "on"
+	}
+	if fuse != "on" && fuse != "off" && fuse != "both" {
+		return nil, fmt.Errorf("serve: unknown -fuse mode %q (on|off|both)", fuse)
+	}
+	cols := []string{"workload", "sched", "policy", "sessions", "slots",
+		"sim_tok_s", "hit_rate", "mean_ppl", "p50_lat_ms", "p99_lat_ms",
+		"queue_p50_t", "turn_p99_t", "slo_attain", "fused", "wall_tok_s"}
+	if fuse == "both" {
+		cols = append(cols, "wall_unfused_tok_s")
+	}
 	out := &Table{
-		ID:    "serve",
-		Title: "Workload grid: DIP-CA sessions, SLO classes, and pluggable schedulers under a shared cache budget (LFU, A18-class device)",
-		Columns: []string{"workload", "sched", "policy", "sessions", "slots",
-			"sim_tok_s", "hit_rate", "mean_ppl", "p50_lat_ms", "p99_lat_ms",
-			"queue_p50_t", "turn_p99_t", "slo_attain", "wall_tok_s"},
+		ID:      "serve",
+		Title:   "Workload grid: DIP-CA sessions, SLO classes, and pluggable schedulers under a shared cache budget (LFU, A18-class device)",
+		Columns: cols,
+	}
+	// Wall-throughput aggregates for the fuse-comparison summary table.
+	var fusedTokens, unfusedTokens int
+	var fusedSeconds, unfusedSeconds float64
+	runCell := func(kind string, sched serving.Scheduler, arb serving.ArbPolicy, noFuse bool) (*serving.Report, error) {
+		w, err := newWorkload(kind)
+		if err != nil {
+			return nil, err
+		}
+		e, err := serving.NewEngine(m, serving.Config{
+			System: sys, Arb: arb, Sched: sched,
+			MaxActive: slots, Quantum: quantum, Seed: l.ServeSeed, NoFuse: noFuse,
+		}, w)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run()
 	}
 	for _, kind := range workloads {
 		for _, sched := range scheds {
 			for _, arb := range arbs {
-				w, err := newWorkload(kind)
+				rep, err := runCell(kind, sched, arb, fuse == "off")
 				if err != nil {
 					return nil, err
 				}
-				e, err := serving.NewEngine(m, serving.Config{
-					System: sys, Arb: arb, Sched: sched,
-					MaxActive: slots, Quantum: quantum, Seed: l.ServeSeed,
-				}, w)
-				if err != nil {
-					return nil, err
-				}
-				rep, err := e.Run()
-				if err != nil {
-					return nil, err
+				var unfusedWall serving.WallClock
+				if fuse == "both" {
+					unfused, err := runCell(kind, sched, arb, true)
+					if err != nil {
+						return nil, err
+					}
+					// The fused path's whole contract: apart from the wall
+					// annotation, both reports must be bit-identical.
+					unfusedWall = unfused.Wall
+					fw, uw := rep.Wall, unfused.Wall
+					rep.Wall, unfused.Wall = serving.WallClock{}, serving.WallClock{}
+					if !reflect.DeepEqual(rep, unfused) {
+						return nil, fmt.Errorf("serve: %s/%s/%s: fused report diverged from the per-session path",
+							kind, sched.Name(), arb)
+					}
+					rep.Wall, unfused.Wall = fw, uw
+					fusedTokens += rep.TotalTokens
+					fusedSeconds += fw.Seconds
+					unfusedTokens += unfused.TotalTokens
+					unfusedSeconds += uw.Seconds
 				}
 				var ppl float64
 				for _, sm := range rep.Sessions {
 					ppl += sm.Point.PPL
 				}
 				ppl /= float64(len(rep.Sessions))
-				out.AddRow(kind, sched.Name(), arb.String(), len(rep.Sessions), slots,
+				row := []any{kind, sched.Name(), arb.String(), len(rep.Sessions), slots,
 					rep.SimTokS, rep.HitRate, ppl,
-					rep.SimLatencyP50*1e3, rep.SimLatencyP99*1e3,
-					rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, rep.Wall.TokS)
+					rep.SimLatencyP50 * 1e3, rep.SimLatencyP99 * 1e3,
+					rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, fuse, rep.Wall.TokS}
+				if fuse == "both" {
+					row = append(row, unfusedWall.TokS)
+				}
+				out.AddRow(row...)
 			}
 		}
 	}
@@ -224,6 +267,32 @@ func Serve(l *Lab) ([]*Table, error) {
 	out.Notes = append(out.Notes,
 		"fair partitions the cache budget across slots; shared is one contended cache with slot-order commits",
 		"wall_tok_s is the host annotation (sessions fan out over the worker pool); it varies run to run",
+		"fused=on decodes the batch through the multi-RHS kernels (one weight walk per tick); -fuse off|both selects the per-session path or both",
 	)
-	return []*Table{out}, nil
+	tables := []*Table{out}
+	if fuse == "both" {
+		cmp := &Table{
+			ID:      "serve-fuse",
+			Title:   "Fused vs per-session decode: aggregate wall throughput over the whole grid",
+			Columns: []string{"cells", "fused_tok_s", "unfused_tok_s", "speedup"},
+			Notes: []string{
+				"every cell's simulated report was verified bit-identical across the two paths before timing was compared",
+				"aggregate wall tok/s = total decoded tokens / total engine wall seconds per path, summed over the grid",
+			},
+		}
+		ft, ut := 0.0, 0.0
+		if fusedSeconds > 0 {
+			ft = float64(fusedTokens) / fusedSeconds
+		}
+		if unfusedSeconds > 0 {
+			ut = float64(unfusedTokens) / unfusedSeconds
+		}
+		speedup := 0.0
+		if ut > 0 {
+			speedup = ft / ut
+		}
+		cmp.AddRow(len(out.Rows), ft, ut, speedup)
+		tables = append(tables, cmp)
+	}
+	return tables, nil
 }

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Batched (multi-RHS) decode-step entry points: B concurrent sessions step
+// through the same weights in one fused pass, walking each projection
+// matrix once instead of B times. The batch layout matches internal/tensor:
+// column b of every Mat is session b's vector. Every batched method is
+// bit-identical per column to its single-vector counterpart (enforced in
+// tests) — the fusion changes traversal order over *sessions*, never the
+// per-output floating-point accumulation order.
+
+// MLPBatchScratch holds the reusable intermediates of one fused dense
+// GLU-MLP evaluation over B sessions. A zero value is ready to use; buffers
+// are sized lazily and reused across steps, so steady-state fused decode
+// does not allocate here.
+type MLPBatchScratch struct {
+	U, G *tensor.Mat
+}
+
+// ApplyBatch computes the dense MLP output for every column of xs (Dim × B)
+// into out (Dim × B, allocated when nil): one fused walk over W_u, W_g, and
+// W_d for the whole batch. Bit-identical per column to ApplyInto.
+func (m *GLUMLP) ApplyBatch(xs, out *tensor.Mat, s *MLPBatchScratch) *tensor.Mat {
+	var local MLPBatchScratch
+	if s == nil {
+		s = &local
+	}
+	B := xs.Cols
+	s.U = tensor.MatVecBatch(m.Up.P.W, xs, tensor.ReuseMat(s.U, m.DFF, B))
+	s.G = tensor.MatVecBatch(m.Gate.P.W, xs, tensor.ReuseMat(s.G, m.DFF, B))
+	// H = U ⊙ σ(G), written over U in place (same element order as the
+	// single-vector path, so the float32 results are identical).
+	for i, g := range s.G.Data {
+		s.U.Data[i] *= m.Act.Apply(g)
+	}
+	if out == nil {
+		out = tensor.NewMat(m.Dim, B)
+	}
+	return tensor.MatVecBatch(m.Down.P.W, s.U, out)
+}
+
+// attnBatchSlot is one session's private buffers inside a fused attention
+// step: slot b is only ever touched by the goroutine handling column b.
+type attnBatchSlot struct {
+	q, cat, scores tensor.Vec
+}
+
+// AttnBatchScratch holds the fused attention-step buffers for a batch of
+// sessions. A zero value is ready to use; buffers grow lazily and are
+// reused across steps.
+type AttnBatchScratch struct {
+	Q, K, V, Cat *tensor.Mat
+	slots        []attnBatchSlot
+}
+
+// StepBatch runs one incremental attention step for B independent sessions
+// sharing the projection weights: xs (Dim × B) holds the post-norm inputs,
+// caches[b] is session b's KV history (appended to, exactly as Step does),
+// and the outputs land in the columns of out (Dim × B, allocated when nil).
+// The four projections are fused multi-RHS products; the per-session
+// score/softmax/context loops — which read disjoint KV caches — fan out
+// over the worker pool with per-slot scratch. Bit-identical per column to B
+// independent Step calls.
+func (a *Attention) StepBatch(xs *tensor.Mat, caches []*KVCache, out *tensor.Mat, s *AttnBatchScratch) *tensor.Mat {
+	B := xs.Cols
+	if len(caches) != B {
+		panic("nn: Attention.StepBatch cache count mismatch")
+	}
+	hd := a.HeadDim
+	s.Q = tensor.MatVecBatch(a.Wq.P.W, xs, tensor.ReuseMat(s.Q, a.NHeads*hd, B))
+	s.K = tensor.MatVecBatch(a.Wk.P.W, xs, tensor.ReuseMat(s.K, a.NKV*hd, B))
+	s.V = tensor.MatVecBatch(a.Wv.P.W, xs, tensor.ReuseMat(s.V, a.NKV*hd, B))
+	// Appended keys/values are retained by the caches, so they are the one
+	// genuine per-step allocation — the same two the single path makes.
+	for b, c := range caches {
+		c.Ks = append(c.Ks, s.K.Col(b, tensor.NewVec(a.NKV*hd)))
+		c.Vs = append(c.Vs, s.V.Col(b, tensor.NewVec(a.NKV*hd)))
+	}
+	for len(s.slots) < B {
+		s.slots = append(s.slots, attnBatchSlot{})
+	}
+	s.Cat = tensor.ReuseMat(s.Cat, a.NHeads*hd, B)
+	group := a.NHeads / a.NKV
+	parallel.For(B, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			sl := &s.slots[b]
+			c := caches[b]
+			T := len(c.Ks)
+			q := s.Q.Col(b, tensor.Grow(sl.q, a.NHeads*hd))
+			sl.q = q
+			cat := tensor.Grow(sl.cat, a.NHeads*hd)
+			sl.cat = cat
+			cat.Zero()
+			sl.scores = tensor.Grow(sl.scores, T)
+			for h := 0; h < a.NHeads; h++ {
+				g := h / group
+				qh := q[h*hd : (h+1)*hd]
+				scores := sl.scores
+				for t := 0; t < T; t++ {
+					ks := c.Ks[t][g*hd : (g+1)*hd]
+					var dot float32
+					for i := 0; i < hd; i++ {
+						dot += qh[i] * ks[i]
+					}
+					scores[t] = dot * a.scale
+				}
+				p := tensor.Softmax(scores, scores)
+				o := cat[h*hd : (h+1)*hd]
+				for t := 0; t < T; t++ {
+					vs := c.Vs[t][g*hd : (g+1)*hd]
+					ps := p[t]
+					for i := 0; i < hd; i++ {
+						o[i] += ps * vs[i]
+					}
+				}
+			}
+			s.Cat.SetCol(b, cat)
+		}
+	})
+	if out == nil {
+		out = tensor.NewMat(a.Dim, B)
+	}
+	return tensor.MatVecBatch(a.Wo.P.W, s.Cat, out)
+}

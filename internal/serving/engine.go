@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/eval"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -33,11 +34,11 @@ func (e *Engine) Run() (*Report, error) {
 		finished = finished[:0]
 		if len(arrivals) > 1 {
 			perm := rng.Perm(len(arrivals))
-			shuffled := make([]int, len(arrivals))
-			for p, j := range perm {
-				shuffled[p] = arrivals[j]
+			e.shuffle = e.shuffle[:0]
+			for _, j := range perm {
+				e.shuffle = append(e.shuffle, arrivals[j])
 			}
-			arrivals = shuffled
+			arrivals = e.shuffle
 		}
 		for _, idx := range arrivals {
 			if idx < 0 || idx >= len(e.reqs) {
@@ -85,9 +86,12 @@ func (e *Engine) Run() (*Report, error) {
 			tick = next
 			continue
 		}
-		if e.cfg.Arb == ArbShared {
+		switch {
+		case !e.cfg.NoFuse:
+			e.tickFused(active)
+		case e.cfg.Arb == ArbShared:
 			e.tickShared(active)
-		} else {
+		default:
 			e.tickPartitioned(active)
 		}
 		tick++
@@ -125,6 +129,44 @@ func (e *Engine) tickPartitioned(active []*Session) {
 			}
 		}
 	})
+}
+
+// tickFused advances the active batch by the token quantum through the
+// fused multi-RHS decode path: each sub-step collects the unfinished slots
+// in slot order and issues one eval.BatchStep, which walks every weight
+// matrix once for the whole batch instead of once per session. Under
+// ArbShared the buffered accesses are then committed serially in slot order
+// — the same deterministic interleaving as tickShared — while partitioned
+// sessions apply their accesses to their private caches inside the fused
+// step. Either way the per-session outputs, cache traffic, and meters are
+// bit-identical to the unfused ticks (enforced by the fuse tests).
+func (e *Engine) tickFused(active []*Session) {
+	for q := 0; q < e.cfg.Quantum; q++ {
+		e.batch = e.batch[:0]
+		for _, s := range active {
+			if !s.stream.Done() {
+				e.batch = append(e.batch, s.stream)
+			}
+		}
+		if len(e.batch) == 0 {
+			return
+		}
+		if len(e.batch) == 1 {
+			// A one-session "batch" has nothing to fuse — the multi-RHS
+			// gather/scatter would be pure overhead. Both paths are
+			// bit-identical (the fuse tests pin it), so degenerate batches
+			// take the single-stream step. Common under open-loop workloads
+			// whose arrival gaps drain the batch.
+			e.batch[0].Step()
+		} else {
+			eval.BatchStep(e.batch, &e.arena)
+		}
+		if e.cfg.Arb == ArbShared {
+			for _, st := range e.batch {
+				st.Commit()
+			}
+		}
+	}
 }
 
 // tickShared advances the batch in lockstep sub-steps: every sub-step

@@ -86,6 +86,13 @@ type Config struct {
 	// Seed drives the same-tick arrival shuffle. Fixed seed ⇒ fixed
 	// admission tiebreaks ⇒ bit-identical outputs and cache statistics.
 	Seed uint64
+	// NoFuse disables the fused multi-RHS decode path and falls back to
+	// stepping each session independently. The default (fused) tick
+	// collects the active slots and issues one batched step per token
+	// sub-quantum, walking every weight matrix once for the whole batch.
+	// Reports are bit-identical either way (enforced in tests); the flag
+	// exists to measure the fusion win and to pin the equivalence in CI.
+	NoFuse bool
 }
 
 // Session is one admitted request's live state.
@@ -121,6 +128,13 @@ type Engine struct {
 	claimed   float64           // greedy pool state
 	ran       bool
 	wallStart time.Time
+
+	// Per-tick scratch, reused across the run so steady-state ticks do not
+	// allocate engine-side: the fused-step batch and arena, and the
+	// same-tick arrival shuffle buffer.
+	arena   eval.BatchArena
+	batch   []*eval.Stream
+	shuffle []int
 }
 
 // NewEngine validates the configuration and lays out the shared memory
@@ -180,6 +194,7 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	e := &Engine{
 		m: m, cfg: cfg, w: w, reqs: reqs, sched: cfg.Sched, plan: plan,
 		sessions: make([]*Session, len(reqs)), arrived: make([]bool, len(reqs)),
+		batch: make([]*eval.Stream, 0, cfg.MaxActive),
 	}
 	if cfg.Arb == ArbShared {
 		e.shared = plan.NewCache(cfg.System.Policy)

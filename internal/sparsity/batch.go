@@ -1,0 +1,378 @@
+package sparsity
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Fused (multi-RHS) scheme evaluation: ForwardBatch computes one MLP layer
+// for B concurrent sessions in a single pass, walking each weight matrix
+// once for the whole batch instead of once per session. Per-session
+// sparsity stays per-session — every column keeps its own scores, masks,
+// unit lists, and cache view — only the weight traversal is shared, via the
+// tensor package's *Batch kernels with per-column masks/unit lists.
+//
+// Determinism contract: ForwardBatch(column b) is bit-identical to
+// schemes[b].Forward on the same input — same output floats, same
+// TokenAccess kinds, and the same unit lists in the same order (the order
+// feeds both sparse accumulation and cache replacement). Enforced by
+// TestForwardBatchMatchesPerSessionForwardBitForBit.
+
+// BatchScratch holds the reusable buffers of fused ForwardBatch calls. A
+// zero value is ready; buffers grow lazily and are reused, so steady-state
+// fused decode does not allocate here. The unit lists handed out through
+// TokenAccess.Units alias this scratch and stay valid until the next
+// ForwardBatch on the same scratch — callers that defer cache commits must
+// copy them (the eval layer's pending buffers already do).
+type BatchScratch struct {
+	u, g, h *tensor.Mat
+	score   tensor.Vec
+	xcol    tensor.Vec
+	zcol    tensor.Vec
+	ycol    tensor.Vec
+	topk    tensor.TopKScratch
+	sparse  tensor.SparseBatchScratch
+	idxsA   [][]int
+	idxsB   [][]int
+
+	dips    []*DIP
+	glus    []*GLUPrune
+	oracles []*GLUOracle
+	gates   []*GatePrune
+	ups     []*UpPrune
+	cats    []*CATS
+}
+
+// growIdxs sizes a per-column unit-list table to B columns, keeping the
+// per-column backing arrays.
+func growIdxs(idxs [][]int, B int) [][]int {
+	for len(idxs) < B {
+		idxs = append(idxs, nil)
+	}
+	return idxs[:B]
+}
+
+// collect gathers schemes into dst when every element has concrete type T.
+func collect[T Scheme](dst []T, schemes []Scheme) ([]T, bool) {
+	dst = dst[:0]
+	for _, sc := range schemes {
+		t, ok := sc.(T)
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst, t)
+	}
+	return dst, true
+}
+
+// ForwardBatch evaluates one MLP layer for the B sessions whose post-norm
+// inputs are the columns of xs (dim × B), writing each session's block
+// output into the matching column of out (dim × B) and its weight-access
+// record into tas[b]. schemes[b] and caches[b] are session b's scheme
+// instance and cache view (views may be nil or differ per session).
+//
+// Homogeneous batches of the fusable schemes (dense, dip/dip-ca, glu,
+// glu-oracle, gate, up, cats) take a fused path: dense stages run as
+// multi-RHS kernels and sparse stages carry per-column unit lists.
+// Mixed-type batches and schemes without a fused path (dejavu) fall back to
+// per-column Forward calls — still bit-identical, just unfused.
+func ForwardBatch(layer int, schemes []Scheme, xs *tensor.Mat, mlp *nn.GLUMLP, caches []CacheView, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	B := xs.Cols
+	if len(schemes) != B || len(caches) != B || len(tas) != B {
+		panic("sparsity: ForwardBatch batch width mismatch")
+	}
+	if out == nil || out.Rows != mlp.Dim || out.Cols != B {
+		panic("sparsity: ForwardBatch out shape mismatch")
+	}
+	// Dispatch on the first scheme's concrete type, then verify the batch is
+	// homogeneous for that type; heterogeneous batches fall through.
+	switch schemes[0].(type) {
+	case *DIP:
+		if dips, ok := collect(s.dips[:0], schemes); ok {
+			s.dips = dips
+			forwardBatchDIP(layer, dips, xs, mlp, caches, out, tas, s)
+			return
+		}
+	case *GLUPrune:
+		if glus, ok := collect(s.glus[:0], schemes); ok {
+			s.glus = glus
+			forwardBatchGLU(glus, xs, mlp, out, tas, s)
+			return
+		}
+	case *GLUOracle:
+		if oracles, ok := collect(s.oracles[:0], schemes); ok {
+			s.oracles = oracles
+			forwardBatchGLUOracle(oracles, xs, mlp, out, tas, s)
+			return
+		}
+	case *GatePrune:
+		if gates, ok := collect(s.gates[:0], schemes); ok {
+			s.gates = gates
+			forwardBatchGate(gates, xs, mlp, out, tas, s)
+			return
+		}
+	case *UpPrune:
+		if ups, ok := collect(s.ups[:0], schemes); ok {
+			s.ups = ups
+			forwardBatchUp(ups, xs, mlp, out, tas, s)
+			return
+		}
+	case *CATS:
+		if cats, ok := collect(s.cats[:0], schemes); ok {
+			s.cats = cats
+			forwardBatchCATS(layer, cats, xs, mlp, out, tas, s)
+			return
+		}
+	case Dense:
+		allDense := true
+		for _, sc := range schemes[1:] {
+			if _, ok := sc.(Dense); !ok {
+				allDense = false
+				break
+			}
+		}
+		if allDense {
+			forwardBatchDense(xs, mlp, out, tas, s)
+			return
+		}
+	}
+	// Fallback: per-column single-RHS evaluation (mixed or unfusable batch).
+	for b, sc := range schemes {
+		s.xcol = xs.Col(b, tensor.Reuse(s.xcol, mlp.Dim))
+		y, ta := sc.Forward(layer, s.xcol, mlp, caches[b])
+		out.SetCol(b, y)
+		tas[b] = ta
+	}
+}
+
+// colAbsScores fills dst with |xs[:, b]|.
+func colAbsScores(xs *tensor.Mat, b int, dst tensor.Vec) tensor.Vec {
+	B := xs.Cols
+	for i := range dst {
+		v := xs.Data[i*B+b]
+		if v < 0 {
+			v = -v
+		}
+		dst[i] = v
+	}
+	return dst
+}
+
+// forwardBatchDense is the fused no-pruning path: one ApplyBatch for the
+// whole batch, dense access records per session.
+func forwardBatchDense(xs *tensor.Mat, mlp *nn.GLUMLP, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	B := xs.Cols
+	s.u = tensor.MatVecBatch(mlp.Up.P.W, xs, tensor.ReuseMat(s.u, mlp.DFF, B))
+	s.g = tensor.MatVecBatch(mlp.Gate.P.W, xs, tensor.ReuseMat(s.g, mlp.DFF, B))
+	s.h = tensor.ReuseMat(s.h, mlp.DFF, B)
+	for i, g := range s.g.Data {
+		s.h.Data[i] = s.u.Data[i] * mlp.Act.Apply(g)
+	}
+	tensor.MatVecBatch(mlp.Down.P.W, s.h, out)
+	for b := range tas {
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessDense}
+	}
+}
+
+// forwardBatchDIP fuses Dynamic Input Pruning (and its cache-aware variant)
+// across the batch: stages 1 and 3 score each column independently —
+// per-session masks, per-session cache views — while stages 2 and the down
+// projection run as sparse multi-RHS kernels over the per-column unit
+// lists.
+func forwardBatchDIP(layer int, dips []*DIP, xs *tensor.Mat, mlp *nn.GLUMLP, caches []CacheView, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	dim, dff := mlp.Dim, mlp.DFF
+	B := xs.Cols
+	// Stage 1: per-column input pruning.
+	s.idxsA = growIdxs(s.idxsA, B)
+	for b, d := range dips {
+		s.score = colAbsScores(xs, b, tensor.Reuse(s.score, dim))
+		d.reweight(s.score, layer, GroupUpGate, caches[b])
+		kIn := keepCount(d.RhoIn, dim)
+		s.idxsA[b] = tensor.TopKIndicesInto(s.score, kIn, &s.topk, s.idxsA[b])
+	}
+	// Stage 2: fused approximate GLU over the pruned input columns.
+	s.u = tensor.MatVecSparseBatch(mlp.Up.P.W, xs, s.idxsA, tensor.ReuseMat(s.u, dff, B), &s.sparse)
+	s.g = tensor.MatVecSparseBatch(mlp.Gate.P.W, xs, s.idxsA, tensor.ReuseMat(s.g, dff, B), &s.sparse)
+	s.h = tensor.ReuseMat(s.h, dff, B)
+	for i, g := range s.g.Data {
+		s.h.Data[i] = s.u.Data[i] * mlp.Act.Apply(g)
+	}
+	// Stage 3: per-column GLU pruning on the approximate activations.
+	s.idxsB = growIdxs(s.idxsB, B)
+	for b, d := range dips {
+		s.score = colAbsScores(s.h, b, tensor.Reuse(s.score, dff))
+		d.reweight(s.score, layer, GroupDown, caches[b])
+		kGLU := keepCount(d.RhoGLU, dff)
+		s.idxsB[b] = tensor.TopKIndicesInto(s.score, kGLU, &s.topk, s.idxsB[b])
+	}
+	tensor.MatVecSparseBatch(mlp.Down.P.W, s.h, s.idxsB, out, &s.sparse)
+	for b := range tas {
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupUpGate] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: s.idxsB[b]}
+	}
+}
+
+// forwardBatchGLU fuses GLU pruning: the dense GLU runs as two multi-RHS
+// products, the top-K masks stay per column, and the down projection is a
+// sparse multi-RHS product over the per-column unit lists.
+func forwardBatchGLU(glus []*GLUPrune, xs *tensor.Mat, mlp *nn.GLUMLP, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	s.idxsA = batchGLUStage(xs, mlp, s, func(b int) float64 { return glus[b].RhoGLU })
+	tensor.MatVecSparseBatch(mlp.Down.P.W, s.h, s.idxsA, out, &s.sparse)
+	for b := range tas {
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+	}
+}
+
+// forwardBatchGLUOracle is forwardBatchGLU with the oracle's access record:
+// all three groups sparsify to the selected unit set.
+func forwardBatchGLUOracle(oracles []*GLUOracle, xs *tensor.Mat, mlp *nn.GLUMLP, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	s.idxsA = batchGLUStage(xs, mlp, s, func(b int) float64 { return oracles[b].Rho })
+	tensor.MatVecSparseBatch(mlp.Down.P.W, s.h, s.idxsA, out, &s.sparse)
+	for b := range tas {
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+		tas[b].Groups[GroupGateRows] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+	}
+}
+
+// batchGLUStage computes the fused dense GLU into s.h and the per-column
+// top-K unit lists for the given keep fractions, returning the lists.
+func batchGLUStage(xs *tensor.Mat, mlp *nn.GLUMLP, s *BatchScratch, rho func(b int) float64) [][]int {
+	dff := mlp.DFF
+	B := xs.Cols
+	s.u = tensor.MatVecBatch(mlp.Up.P.W, xs, tensor.ReuseMat(s.u, dff, B))
+	s.g = tensor.MatVecBatch(mlp.Gate.P.W, xs, tensor.ReuseMat(s.g, dff, B))
+	s.h = tensor.ReuseMat(s.h, dff, B)
+	for i, g := range s.g.Data {
+		s.h.Data[i] = s.u.Data[i] * mlp.Act.Apply(g)
+	}
+	idxs := growIdxs(s.idxsA, B)
+	for b := 0; b < B; b++ {
+		s.score = colAbsScores(s.h, b, tensor.Reuse(s.score, dff))
+		k := keepCount(rho(b), dff)
+		idxs[b] = tensor.TopKIndicesInto(s.score, k, &s.topk, idxs[b])
+	}
+	return idxs
+}
+
+// forwardBatchGate fuses Gate pruning's dense stage (one multi-RHS product
+// over W_g); the per-unit row walks keep their per-column unit sets and run
+// per column.
+func forwardBatchGate(gates []*GatePrune, xs *tensor.Mat, mlp *nn.GLUMLP, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	dff := mlp.DFF
+	B := xs.Cols
+	s.g = tensor.MatVecBatch(mlp.Gate.P.W, xs, tensor.ReuseMat(s.g, dff, B))
+	s.idxsA = growIdxs(s.idxsA, B)
+	for b, gp := range gates {
+		s.score = tensor.Reuse(s.score, dff)
+		s.zcol = s.g.Col(b, tensor.Reuse(s.zcol, dff))
+		for i, v := range s.zcol {
+			a := mlp.Act.Apply(v)
+			if a < 0 {
+				a = -a
+			}
+			s.score[i] = a
+		}
+		k := keepCount(gp.Rho, dff)
+		s.idxsA[b] = tensor.TopKIndicesInto(s.score, k, &s.topk, s.idxsA[b])
+		s.xcol = xs.Col(b, tensor.Reuse(s.xcol, mlp.Dim))
+		s.ycol = sparseRowsOutput(mlp, s.xcol, s.zcol, s.idxsA[b], tensor.Reuse(s.ycol, mlp.Dim))
+		out.SetCol(b, s.ycol)
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+	}
+}
+
+// forwardBatchUp fuses Up pruning's dense stage (one multi-RHS product over
+// W_u); the sparse stage runs per column.
+func forwardBatchUp(ups []*UpPrune, xs *tensor.Mat, mlp *nn.GLUMLP, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	dim, dff := mlp.Dim, mlp.DFF
+	B := xs.Cols
+	s.u = tensor.MatVecBatch(mlp.Up.P.W, xs, tensor.ReuseMat(s.u, dff, B))
+	s.idxsA = growIdxs(s.idxsA, B)
+	wd := mlp.Down.P.W
+	for b, up := range ups {
+		s.zcol = s.u.Col(b, tensor.Reuse(s.zcol, dff))
+		s.score = absScores(s.zcol, tensor.Reuse(s.score, dff))
+		k := keepCount(up.Rho, dff)
+		s.idxsA[b] = tensor.TopKIndicesInto(s.score, k, &s.topk, s.idxsA[b])
+		s.xcol = xs.Col(b, tensor.Reuse(s.xcol, dim))
+		s.ycol = tensor.Reuse(s.ycol, dim)
+		y := s.ycol
+		y.Zero()
+		for _, i := range s.idxsA[b] {
+			gi := tensor.Vec(mlp.Gate.P.W.Data[i*dim : (i+1)*dim]).Dot(s.xcol)
+			hi := s.zcol[i] * mlp.Act.Apply(gi)
+			if hi == 0 {
+				continue
+			}
+			for r := 0; r < dim; r++ {
+				y[r] += wd.Data[r*dff+i] * hi
+			}
+		}
+		out.SetCol(b, y)
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupUpRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupGateRows] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: s.idxsA[b]}
+	}
+}
+
+// forwardBatchCATS fuses CATS's dense stage (one multi-RHS product over
+// W_g); thresholding and the per-unit row walks run per column.
+func forwardBatchCATS(layer int, cats []*CATS, xs *tensor.Mat, mlp *nn.GLUMLP, out *tensor.Mat, tas []TokenAccess, s *BatchScratch) {
+	dff := mlp.DFF
+	B := xs.Cols
+	s.g = tensor.MatVecBatch(mlp.Gate.P.W, xs, tensor.ReuseMat(s.g, dff, B))
+	s.idxsA = growIdxs(s.idxsA, B)
+	for b, c := range cats {
+		if layer >= len(c.Thresholds) {
+			panic(fmt.Sprintf("sparsity: CATS has %d thresholds, layer %d requested", len(c.Thresholds), layer))
+		}
+		thr := c.Thresholds[layer]
+		s.zcol = s.g.Col(b, tensor.Reuse(s.zcol, dff))
+		idx := s.idxsA[b][:0]
+		for i, v := range s.zcol {
+			a := mlp.Act.Apply(v)
+			if a < 0 {
+				a = -a
+			}
+			if a >= thr {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 { // keep at least the strongest unit
+			best, bestV := 0, float32(-1)
+			for i, v := range s.zcol {
+				a := mlp.Act.Apply(v)
+				if a < 0 {
+					a = -a
+				}
+				if a > bestV {
+					best, bestV = i, a
+				}
+			}
+			idx = append(idx, best)
+		}
+		s.idxsA[b] = idx
+		s.xcol = xs.Col(b, tensor.Reuse(s.xcol, mlp.Dim))
+		s.ycol = sparseRowsOutput(mlp, s.xcol, s.zcol, idx, tensor.Reuse(s.ycol, mlp.Dim))
+		out.SetCol(b, s.ycol)
+		tas[b] = TokenAccess{}
+		tas[b].Groups[GroupGateRows] = GroupAccess{Kind: AccessDense}
+		tas[b].Groups[GroupUpRows] = GroupAccess{Kind: AccessSparse, Units: idx}
+		tas[b].Groups[GroupDown] = GroupAccess{Kind: AccessSparse, Units: idx}
+	}
+}

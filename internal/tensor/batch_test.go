@@ -1,0 +1,211 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// batchOf packs B vectors as the columns of a Mat (the multi-RHS layout).
+func batchOf(vecs []Vec) *Mat {
+	n := len(vecs[0])
+	m := NewMat(n, len(vecs))
+	for b, v := range vecs {
+		m.SetCol(b, v)
+	}
+	return m
+}
+
+func randVecs(rng *RNG, B, n int, zeroFrac float64) []Vec {
+	vs := make([]Vec, B)
+	for b := range vs {
+		v := NewVec(n)
+		for i := range v {
+			v[i] = rng.NormFloat32()
+			if zeroFrac > 0 && rng.Float64() < zeroFrac {
+				v[i] = 0
+			}
+		}
+		vs[b] = v
+	}
+	return vs
+}
+
+// The batched kernels' whole contract: each output column must be
+// bit-for-bit equal to an independent single-RHS call — including masked
+// and sparse variants with differing per-column masks/unit lists, at sizes
+// on both sides of the parallel cutoff, for any worker count.
+func TestBatchKernelsMatchSingleRHSBitForBit(t *testing.T) {
+	defer parallel.SetProcs(parallel.Procs())
+	shapes := []struct{ rows, cols, B int }{
+		{5, 3, 1},
+		{17, 9, 3},
+		{64, 48, 8},   // below the cutoff at B=1, above fused
+		{256, 192, 4}, // above the cutoff even single-RHS
+	}
+	for _, procs := range []int{1, 8} {
+		parallel.SetProcs(procs)
+		for _, sh := range shapes {
+			rng := NewRNG(uint64(sh.rows*1000 + sh.B))
+			m := NewMat(sh.rows, sh.cols)
+			m.RandNorm(rng, 1)
+			xs := randVecs(rng, sh.B, sh.cols, 0.2) // exact zeros exercise skips
+			ys := randVecs(rng, sh.B, sh.rows, 0.2)
+
+			// MatVecBatch.
+			got := MatVecBatch(m, batchOf(xs), nil)
+			for b, x := range xs {
+				want := MatVec(m, x, nil)
+				for i := range want {
+					if got.At(i, b) != want[i] {
+						t.Fatalf("procs=%d %dx%dxB%d MatVecBatch[%d,%d] = %v, single %v",
+							procs, sh.rows, sh.cols, sh.B, i, b, got.At(i, b), want[i])
+					}
+				}
+			}
+
+			// MatTVecBatch (accumulating form: seed outputs with garbage).
+			acc := NewMat(sh.cols, sh.B)
+			wantAcc := make([]Vec, sh.B)
+			for b := 0; b < sh.B; b++ {
+				for j := 0; j < sh.cols; j++ {
+					acc.Set(j, b, float32(j%7)-3)
+				}
+				wantAcc[b] = acc.Col(b, nil)
+			}
+			MatTVecBatch(m, batchOf(ys), acc)
+			for b, y := range ys {
+				MatTVec(m, y, wantAcc[b])
+				for j := range wantAcc[b] {
+					if acc.At(j, b) != wantAcc[b][j] {
+						t.Fatalf("procs=%d MatTVecBatch[%d,%d] = %v, single %v",
+							procs, j, b, acc.At(j, b), wantAcc[b][j])
+					}
+				}
+			}
+
+			// MaskedMatVecColsBatch with a different mask per column.
+			masks := make([][]bool, sh.B)
+			for b := range masks {
+				masks[b] = make([]bool, sh.cols)
+				for j := range masks[b] {
+					masks[b][j] = rng.Float64() < 0.5
+				}
+			}
+			gotM := MaskedMatVecColsBatch(m, batchOf(xs), masks, nil)
+			for b, x := range xs {
+				want := MaskedMatVecCols(m, x, masks[b], nil)
+				for i := range want {
+					if gotM.At(i, b) != want[i] {
+						t.Fatalf("procs=%d MaskedMatVecColsBatch[%d,%d] = %v, single %v",
+							procs, i, b, gotM.At(i, b), want[i])
+					}
+				}
+			}
+
+			// MatVecSparseBatch with a different unit list per column
+			// (different lengths and orders, too).
+			idxs := make([][]int, sh.B)
+			for b := range idxs {
+				k := 1 + int(rng.Float64()*float64(sh.cols-1))
+				perm := rng.Perm(sh.cols)
+				idxs[b] = perm[:k]
+			}
+			gotS := MatVecSparseBatch(m, batchOf(xs), idxs, nil, nil)
+			for b, x := range xs {
+				want := MatVecSparse(m, x, idxs[b], nil)
+				for i := range want {
+					if gotS.At(i, b) != want[i] {
+						t.Fatalf("procs=%d MatVecSparseBatch[%d,%d] = %v, single %v",
+							procs, i, b, gotS.At(i, b), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Batched kernels must also agree with themselves across worker counts
+// (the blocked ranges change, the accumulation order must not).
+func TestBatchKernelsDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer parallel.SetProcs(parallel.Procs())
+	rng := NewRNG(99)
+	m := NewMat(256, 192)
+	m.RandNorm(rng, 1)
+	xs := batchOf(randVecs(rng, 8, 192, 0))
+
+	parallel.SetProcs(1)
+	serial := MatVecBatch(m, xs, nil)
+	parallel.SetProcs(8)
+	par := MatVecBatch(m, xs, nil)
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("MatVecBatch element %d differs across worker counts: %v vs %v",
+				i, serial.Data[i], par.Data[i])
+		}
+	}
+}
+
+// TopKIndicesInto must return the same indices in the same order as
+// TopKIndices — the order feeds sparse accumulation and cache access, so
+// it is part of the bit-for-bit contract, not a nicety.
+func TestTopKIndicesIntoMatchesTopKIndices(t *testing.T) {
+	rng := NewRNG(7)
+	var scratch TopKScratch
+	var idx []int
+	for _, n := range []int{1, 5, 64, 192} {
+		score := NewVec(n)
+		for i := range score {
+			score[i] = rng.NormFloat32()
+			if i%5 == 0 && i > 0 {
+				score[i] = score[i-1] // exercise tie-breaking
+			}
+		}
+		for _, k := range []int{0, 1, n / 2, n - 1, n, n + 3} {
+			want := TopKIndices(score, k)
+			idx = TopKIndicesInto(score, k, &scratch, idx)
+			if len(idx) != len(want) {
+				t.Fatalf("n=%d k=%d: Into returned %d indices, want %d", n, k, len(idx), len(want))
+			}
+			for i := range want {
+				if idx[i] != want[i] {
+					t.Fatalf("n=%d k=%d: index %d is %d, want %d (order matters)", n, k, i, idx[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReuseMatAndGrowAndAddColTo(t *testing.T) {
+	m := NewMat(3, 2)
+	if ReuseMat(m, 3, 2) != m {
+		t.Fatal("ReuseMat reallocated a matching matrix")
+	}
+	if got := ReuseMat(m, 2, 3); got != m || got.Rows != 2 || got.Cols != 3 {
+		t.Fatal("ReuseMat must reshape in place over a sufficient backing array")
+	}
+	if got := ReuseMat(m, 4, 4); got == m || got.Rows != 4 || got.Cols != 4 {
+		t.Fatal("ReuseMat must reallocate when the backing array is too small")
+	}
+	if ReuseMat(nil, 1, 1) == nil {
+		t.Fatal("ReuseMat(nil) must allocate")
+	}
+
+	v := NewVec(8)
+	if got := Grow(v, 4); cap(got) != cap(v) || len(got) != 4 {
+		t.Fatalf("Grow shrink reallocated: len %d cap %d", len(got), cap(got))
+	}
+	if got := Grow(v, 16); len(got) != 16 {
+		t.Fatalf("Grow extend returned len %d", len(got))
+	}
+
+	m = NewMat(3, 2)
+	m.Set(0, 1, 2)
+	m.Set(1, 1, 3)
+	m.Set(2, 1, 5)
+	dst := Vec{10, 20, 30}
+	m.AddColTo(1, dst)
+	if dst[0] != 12 || dst[1] != 23 || dst[2] != 35 {
+		t.Fatalf("AddColTo = %v", dst)
+	}
+}

@@ -55,6 +55,103 @@ func BenchmarkMatTVec192x64(b *testing.B) {
 	}
 }
 
+// benchBatch builds a B-wide multi-RHS batch for the batched kernels.
+func benchBatch(rows, cols, B int) (*Mat, *Mat) {
+	rng := NewRNG(4)
+	m := NewMat(rows, cols)
+	m.RandNorm(rng, 1)
+	xs := NewMat(cols, B)
+	xs.RandNorm(rng, 1)
+	return m, xs
+}
+
+// BenchmarkMatVecBatch8 is the fused kernel at batch 8; compare against
+// BenchmarkMatVecBatch8Unfused, which issues the same work as 8 single-RHS
+// calls (the serving engine's unfused tick shape).
+func BenchmarkMatVecBatch8(b *testing.B) {
+	m, xs := benchBatch(192, 64, 8)
+	out := NewMat(192, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVecBatch(m, xs, out)
+	}
+}
+
+func BenchmarkMatVecBatch8Unfused(b *testing.B) {
+	m, _ := benchBatch(192, 64, 8)
+	cols := make([]Vec, 8)
+	outs := make([]Vec, 8)
+	rng := NewRNG(5)
+	for i := range cols {
+		cols[i] = NewVec(64)
+		for j := range cols[i] {
+			cols[i][j] = rng.NormFloat32()
+		}
+		outs[i] = NewVec(192)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := range cols {
+			MatVec(m, cols[c], outs[c])
+		}
+	}
+}
+
+// BenchmarkMatVecSparseBatch8 fuses 8 half-density sparse products with
+// differing per-column unit lists — the DIP serving hot path.
+func BenchmarkMatVecSparseBatch8(b *testing.B) {
+	m, xs := benchBatch(192, 64, 8)
+	idxs := make([][]int, 8)
+	for bi := range idxs {
+		idxs[bi] = make([]int, 32)
+		for i := range idxs[bi] {
+			idxs[bi][i] = (i*2 + bi) % 64
+		}
+	}
+	out := NewMat(192, 8)
+	var scratch SparseBatchScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVecSparseBatch(m, xs, idxs, out, &scratch)
+	}
+}
+
+// BenchmarkMaskedMatVecColsBatch8 is the masked variant with per-column
+// masks.
+func BenchmarkMaskedMatVecColsBatch8(b *testing.B) {
+	m, xs := benchBatch(192, 64, 8)
+	masks := make([][]bool, 8)
+	for bi := range masks {
+		masks[bi] = make([]bool, 64)
+		for j := range masks[bi] {
+			masks[bi][j] = (j+bi)%2 == 0
+		}
+	}
+	out := NewMat(192, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskedMatVecColsBatch(m, xs, masks, out)
+	}
+}
+
+// BenchmarkMatTVecBatch8 is the fused transpose product at batch 8.
+func BenchmarkMatTVecBatch8(b *testing.B) {
+	m, _ := benchBatch(192, 64, 8)
+	xs := NewMat(192, 8)
+	xs.RandNorm(NewRNG(6), 1)
+	out := NewMat(64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		MatTVecBatch(m, xs, out)
+	}
+}
+
 func BenchmarkTopK64of192(b *testing.B) {
 	rng := NewRNG(2)
 	score := NewVec(192)

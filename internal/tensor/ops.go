@@ -89,9 +89,30 @@ func LogSumExp(logits Vec) float64 {
 // lower index to keep results deterministic. The selection is O(n log k)
 // via a binary min-heap over (value, index) pairs.
 func TopKIndices(score Vec, k int) []int {
+	return TopKIndicesInto(score, k, nil, nil)
+}
+
+// TopKScratch holds the reusable heap of TopKIndicesInto.
+type TopKScratch struct {
+	heap []hv
+}
+
+// hv is one heap entry of the top-k selection.
+type hv struct {
+	v float32
+	i int
+}
+
+// TopKIndicesInto is TopKIndices with caller-owned storage: the selection
+// heap comes from s and the result is appended to idx[:0] (both may be nil
+// to allocate). The returned indices are identical — including order — to
+// TopKIndices on the same input, so per-token hot loops can drop the two
+// allocations per call without perturbing downstream accumulation or cache
+// access order.
+func TopKIndicesInto(score Vec, k int, s *TopKScratch, idx []int) []int {
 	n := len(score)
 	if k >= n {
-		idx := make([]int, n)
+		idx = grow(idx, n)
 		for i := range idx {
 			idx[i] = i
 		}
@@ -100,53 +121,69 @@ func TopKIndices(score Vec, k int) []int {
 	if k <= 0 {
 		return nil
 	}
+	var local TopKScratch
+	if s == nil {
+		s = &local
+	}
 	// Min-heap of the current top-k: heap[0] is the smallest kept value.
-	type hv struct {
-		v float32
-		i int
+	if cap(s.heap) < k {
+		s.heap = make([]hv, k)
 	}
-	heap := make([]hv, k)
-	less := func(a, b hv) bool {
-		if a.v != b.v {
-			return a.v < b.v
-		}
-		return a.i > b.i // higher index loses ties
-	}
-	siftDown := func(pos int) {
-		for {
-			l, r := 2*pos+1, 2*pos+2
-			smallest := pos
-			if l < k && less(heap[l], heap[smallest]) {
-				smallest = l
-			}
-			if r < k && less(heap[r], heap[smallest]) {
-				smallest = r
-			}
-			if smallest == pos {
-				return
-			}
-			heap[pos], heap[smallest] = heap[smallest], heap[pos]
-			pos = smallest
-		}
-	}
+	heap := s.heap[:k]
 	for i := 0; i < k; i++ {
 		heap[i] = hv{score[i], i}
 	}
 	for i := k/2 - 1; i >= 0; i-- {
-		siftDown(i)
+		siftDownHV(heap, i)
 	}
+	h0 := heap[0]
 	for i := k; i < n; i++ {
-		cand := hv{score[i], i}
-		if less(heap[0], cand) {
-			heap[0] = cand
-			siftDown(0)
+		v := score[i]
+		// Inlined "heap[0] < candidate" (ties lose to the lower index, so a
+		// candidate with v == h0.v never displaces the root): this is the hot
+		// comparison — most elements lose to the current minimum and never
+		// touch the heap.
+		if v < h0.v || (v == h0.v && i > h0.i) {
+			continue
 		}
+		heap[0] = hv{v, i}
+		siftDownHV(heap, 0)
+		h0 = heap[0]
 	}
-	idx := make([]int, k)
+	idx = grow(idx, k)
 	for i, h := range heap {
 		idx[i] = h.i
 	}
 	return idx
+}
+
+// lessHV orders heap entries: smaller value first, ties broken so the
+// higher index is "smaller" (loses, keeping results deterministic).
+func lessHV(a, b hv) bool {
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	return a.i > b.i
+}
+
+// siftDownHV restores the min-heap property from pos downward.
+func siftDownHV(heap []hv, pos int) {
+	k := len(heap)
+	for {
+		l, r := 2*pos+1, 2*pos+2
+		smallest := pos
+		if l < k && lessHV(heap[l], heap[smallest]) {
+			smallest = l
+		}
+		if r < k && lessHV(heap[r], heap[smallest]) {
+			smallest = r
+		}
+		if smallest == pos {
+			return
+		}
+		heap[pos], heap[smallest] = heap[smallest], heap[pos]
+		pos = smallest
+	}
 }
 
 // TopKAbsMask returns a boolean mask keeping the k largest-magnitude
