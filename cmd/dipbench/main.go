@@ -15,9 +15,10 @@
 //	dipbench -serve -workload poisson -rate 0.2 -sched edf -slo 200
 //	dipbench -serve -workload trace -trace trace.json -arb shared
 //	dipbench -serve -small -fuse both  # fused vs per-session decode, one report
+//	dipbench -serve -sched edf -preempt deadline  # deadline-aware preemption
 //
 // The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
-// -sched, -arb, -fuse) are rejected without -serve (or -exp serve / -exp all),
+// -sched, -preempt, -arb, -fuse) are rejected without -serve (or -exp serve / -exp all),
 // -small conflicts with an explicit -scale paper, and -slo/-rate are
 // rejected where they would be ignored (trace files carry their own
 // deadlines; only poisson has a rate) — all hard errors, not silent
@@ -95,6 +96,7 @@ func run() int {
 		slo        = flag.Int("slo", 0, "with -serve: interactive-class SLO deadline in ticks (0 = scale default)")
 		tracePath  = flag.String("trace", "", "with -serve -workload trace: trace file (JSON or CSV) to replay")
 		sched      = flag.String("sched", "", "with -serve: restrict the grid to one scheduler (fcfs|prio|edf)")
+		preempt    = flag.String("preempt", "", "with -serve: restrict the grid to one preemption policy (none|deadline|prio)")
 		fuse       = flag.String("fuse", "", "with -serve: batched decode path (on|off|both; both runs each cell through both paths, checks the reports match bit for bit, and records both wall throughputs)")
 		arb        = flag.String("arb", "", "with -serve: restrict the grid to one arbitration policy (exclusive|fair|greedy|shared)")
 		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
@@ -123,7 +125,7 @@ func run() int {
 	// shaping flags pass through; -small stays serve-only because it forces
 	// the scale, which would rescale every other experiment too.
 	servesToo := *exp == "serve" || *exp == "all"
-	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "arb", "fuse"} {
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse"} {
 		if set[f] && !servesToo {
 			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenario; add -serve (or -exp serve / -exp all)\n", f)
 			return 2
@@ -158,6 +160,12 @@ func run() int {
 	}
 	if *sched != "" {
 		if _, err := serving.ParseScheduler(*sched); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+			return 2
+		}
+	}
+	if *preempt != "" {
+		if _, err := serving.ParsePreemptor(*preempt); err != nil {
 			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
 			return 2
 		}
@@ -229,6 +237,7 @@ func run() int {
 	lab.ServeSmoke = *small
 	lab.ServeWorkload = *workload
 	lab.ServeSched = *sched
+	lab.ServePreempt = *preempt
 	lab.ServeArb = *arb
 	lab.ServeRate = *rate
 	lab.ServeSLO = *slo

@@ -274,6 +274,30 @@ func (st *Stream) Commit() {
 	st.dirty = false
 }
 
+// Release detaches the stream from its cache for a suspension: all decode
+// state (decoder, KV caches, scheme scratch, CE sums, meter, traffic
+// counters) is retained, so a later Regrant resumes the stream exactly
+// where it stopped. Stepping a released stream fails loudly. Suspension is
+// a tick-boundary operation — releasing with uncommitted deferred accesses
+// panics.
+func (st *Stream) Release() {
+	if st.dirty {
+		panic("eval: Release on a Stream with uncommitted accesses")
+	}
+	st.mc = nil
+}
+
+// Regrant couples a suspended stream to a (typically fresh) cache — the
+// serving engine's resume hook after a preemption released the stream's
+// partitioned cache grant. Cumulative traffic and meter state carry over;
+// only the cache the scheme sees from the next Step onward changes.
+func (st *Stream) Regrant(mc *cache.ModelCache) {
+	if mc == nil {
+		panic("eval: Regrant needs a cache")
+	}
+	st.mc = mc
+}
+
 // Done reports whether every token has been consumed.
 func (st *Stream) Done() bool { return st.pos >= st.total }
 

@@ -49,6 +49,10 @@ type Lab struct {
 	// ServeSched restricts the serve grid to one scheduler (dipbench -sched:
 	// fcfs|prio|edf; "" sweeps all).
 	ServeSched string
+	// ServePreempt restricts the serve grid to one preemption policy
+	// (dipbench -preempt: none|deadline|prio; "" sweeps none and deadline,
+	// smoke runs default to none).
+	ServePreempt string
 	// ServeArb restricts the serve grid to one arbitration policy (dipbench
 	// -arb: exclusive|fair|greedy|shared; "" sweeps fair and shared — the
 	// two contended regimes).

@@ -14,13 +14,14 @@ import (
 )
 
 // Serve benchmarks the multi-stream serving engine (internal/serving) over
-// a grid of workload × scheduler × arbitration: K DIP-CA sessions in two
-// SLO classes (interactive: high priority with a deadline; batch: best
-// effort) arrive through a workload — all at once (fixed), as a seeded
-// open-loop Poisson trace, as a closed loop with think time, or replayed
-// from a trace file — and are admitted by a pluggable scheduler (FCFS,
-// strict priority, or earliest-deadline-first) against a shared DRAM cache
-// budget. Every reported metric runs on the simulated tick clock
+// a grid of workload × scheduler × preemptor × arbitration: K DIP-CA
+// sessions in two SLO classes (interactive: high priority with a deadline;
+// batch: best effort) arrive through a workload — all at once (fixed), as a
+// seeded open-loop Poisson trace, as a closed loop with think time, or
+// replayed from a trace file — and are admitted by a pluggable scheduler
+// (FCFS, strict priority, or earliest-deadline-first), with an optional
+// preemptor suspending running best-effort sessions when deadlined entries
+// outrank them, against a shared DRAM cache budget. Every reported metric runs on the simulated tick clock
 // (queueing delay, turnaround, per-token latency, SLO attainment, hit rate
 // under contention) and is bit-identical for a fixed -seed; host wall
 // throughput rides along as the final annotation column.
@@ -152,9 +153,11 @@ func Serve(l *Lab) ([]*Table, error) {
 	workloads := []string{"fixed", "poisson", "closed"}
 	scheds := []serving.Scheduler{serving.FCFS(), serving.Priority(), serving.EDF()}
 	arbs := []serving.ArbPolicy{serving.ArbFairShare, serving.ArbShared}
+	preempts := []serving.Preemptor{serving.NoPreempt(), serving.DeadlinePreempt()}
 	if l.ServeSmoke {
 		workloads = []string{"fixed", "poisson"}
 		scheds = []serving.Scheduler{serving.FCFS(), serving.EDF()}
+		preempts = []serving.Preemptor{serving.NoPreempt()}
 	}
 	if l.ServeWorkload != "" {
 		workloads = []string{l.ServeWorkload}
@@ -165,6 +168,13 @@ func Serve(l *Lab) ([]*Table, error) {
 			return nil, err
 		}
 		scheds = []serving.Scheduler{s}
+	}
+	if l.ServePreempt != "" {
+		p, err := serving.ParsePreemptor(l.ServePreempt)
+		if err != nil {
+			return nil, err
+		}
+		preempts = []serving.Preemptor{p}
 	}
 	if l.ServeArb != "" {
 		a, err := serving.ParseArbPolicy(l.ServeArb)
@@ -181,9 +191,9 @@ func Serve(l *Lab) ([]*Table, error) {
 	if fuse != "on" && fuse != "off" && fuse != "both" {
 		return nil, fmt.Errorf("serve: unknown -fuse mode %q (on|off|both)", fuse)
 	}
-	cols := []string{"workload", "sched", "policy", "sessions", "slots",
+	cols := []string{"workload", "sched", "preempt", "policy", "sessions", "slots",
 		"sim_tok_s", "hit_rate", "mean_ppl", "p50_lat_ms", "p99_lat_ms",
-		"queue_p50_t", "turn_p99_t", "slo_attain", "fused", "wall_tok_s"}
+		"queue_p50_t", "turn_p99_t", "slo_attain", "preempts", "fused", "wall_tok_s"}
 	if fuse == "both" {
 		cols = append(cols, "wall_unfused_tok_s")
 	}
@@ -195,13 +205,13 @@ func Serve(l *Lab) ([]*Table, error) {
 	// Wall-throughput aggregates for the fuse-comparison summary table.
 	var fusedTokens, unfusedTokens int
 	var fusedSeconds, unfusedSeconds float64
-	runCell := func(kind string, sched serving.Scheduler, arb serving.ArbPolicy, noFuse bool) (*serving.Report, error) {
+	runCell := func(kind string, sched serving.Scheduler, pre serving.Preemptor, arb serving.ArbPolicy, noFuse bool) (*serving.Report, error) {
 		w, err := newWorkload(kind)
 		if err != nil {
 			return nil, err
 		}
 		e, err := serving.NewEngine(m, serving.Config{
-			System: sys, Arb: arb, Sched: sched,
+			System: sys, Arb: arb, Sched: sched, Preempt: pre,
 			MaxActive: slots, Quantum: quantum, Seed: l.ServeSeed, NoFuse: noFuse,
 		}, w)
 		if err != nil {
@@ -211,45 +221,47 @@ func Serve(l *Lab) ([]*Table, error) {
 	}
 	for _, kind := range workloads {
 		for _, sched := range scheds {
-			for _, arb := range arbs {
-				rep, err := runCell(kind, sched, arb, fuse == "off")
-				if err != nil {
-					return nil, err
-				}
-				var unfusedWall serving.WallClock
-				if fuse == "both" {
-					unfused, err := runCell(kind, sched, arb, true)
+			for _, pre := range preempts {
+				for _, arb := range arbs {
+					rep, err := runCell(kind, sched, pre, arb, fuse == "off")
 					if err != nil {
 						return nil, err
 					}
-					// The fused path's whole contract: apart from the wall
-					// annotation, both reports must be bit-identical.
-					unfusedWall = unfused.Wall
-					fw, uw := rep.Wall, unfused.Wall
-					rep.Wall, unfused.Wall = serving.WallClock{}, serving.WallClock{}
-					if !reflect.DeepEqual(rep, unfused) {
-						return nil, fmt.Errorf("serve: %s/%s/%s: fused report diverged from the per-session path",
-							kind, sched.Name(), arb)
+					var unfusedWall serving.WallClock
+					if fuse == "both" {
+						unfused, err := runCell(kind, sched, pre, arb, true)
+						if err != nil {
+							return nil, err
+						}
+						// The fused path's whole contract: apart from the wall
+						// annotation, both reports must be bit-identical.
+						unfusedWall = unfused.Wall
+						fw, uw := rep.Wall, unfused.Wall
+						rep.Wall, unfused.Wall = serving.WallClock{}, serving.WallClock{}
+						if !reflect.DeepEqual(rep, unfused) {
+							return nil, fmt.Errorf("serve: %s/%s/%s/%s: fused report diverged from the per-session path",
+								kind, sched.Name(), pre.Name(), arb)
+						}
+						rep.Wall, unfused.Wall = fw, uw
+						fusedTokens += rep.TotalTokens
+						fusedSeconds += fw.Seconds
+						unfusedTokens += unfused.TotalTokens
+						unfusedSeconds += uw.Seconds
 					}
-					rep.Wall, unfused.Wall = fw, uw
-					fusedTokens += rep.TotalTokens
-					fusedSeconds += fw.Seconds
-					unfusedTokens += unfused.TotalTokens
-					unfusedSeconds += uw.Seconds
+					var ppl float64
+					for _, sm := range rep.Sessions {
+						ppl += sm.Point.PPL
+					}
+					ppl /= float64(len(rep.Sessions))
+					row := []any{kind, sched.Name(), pre.Name(), arb.String(), len(rep.Sessions), slots,
+						rep.SimTokS, rep.HitRate, ppl,
+						rep.SimLatencyP50 * 1e3, rep.SimLatencyP99 * 1e3,
+						rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, rep.Preemptions, fuse, rep.Wall.TokS}
+					if fuse == "both" {
+						row = append(row, unfusedWall.TokS)
+					}
+					out.AddRow(row...)
 				}
-				var ppl float64
-				for _, sm := range rep.Sessions {
-					ppl += sm.Point.PPL
-				}
-				ppl /= float64(len(rep.Sessions))
-				row := []any{kind, sched.Name(), arb.String(), len(rep.Sessions), slots,
-					rep.SimTokS, rep.HitRate, ppl,
-					rep.SimLatencyP50 * 1e3, rep.SimLatencyP99 * 1e3,
-					rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, fuse, rep.Wall.TokS}
-				if fuse == "both" {
-					row = append(row, unfusedWall.TokS)
-				}
-				out.AddRow(row...)
 			}
 		}
 	}
@@ -265,6 +277,7 @@ func Serve(l *Lab) ([]*Table, error) {
 		}
 	}
 	out.Notes = append(out.Notes,
+		"preempt=deadline suspends the loosest-deadline running session when a queued entry's deadline is strictly earlier (stream state kept, resumed later); preempts counts mid-run suspensions",
 		"fair partitions the cache budget across slots; shared is one contended cache with slot-order commits",
 		"wall_tok_s is the host annotation (sessions fan out over the worker pool); it varies run to run",
 		"fused=on decodes the batch through the multi-RHS kernels (one weight walk per tick); -fuse off|both selects the per-session path or both",

@@ -60,8 +60,12 @@ func Policies() []ArbPolicy {
 	return []ArbPolicy{ArbExclusive, ArbFairShare, ArbGreedy, ArbShared}
 }
 
-// grant reserves a budget fraction for a newly admitted session under the
-// partitioned policies, recording greedy claims on the engine pool.
+// grant reserves a budget fraction for a newly admitted (or resumed)
+// session under the partitioned policies, recording greedy claims on the
+// engine pool. The pool is clamped to [0, 1] on every mutation: repeated
+// admit/suspend/retire cycles accumulate floating-point error in
+// `claimed`, and an unclamped pool would eventually grant late sessions
+// shares slightly above 1 or below 0.
 func (e *Engine) grant(sess *Session) float64 {
 	switch e.cfg.Arb {
 	case ArbFairShare:
@@ -71,12 +75,42 @@ func (e *Engine) grant(sess *Session) float64 {
 		if share < 0 {
 			share = 0
 		}
-		e.claimed += share
+		if share > 0 {
+			e.claimants++
+		}
+		e.claimed = clamp01(e.claimed + share)
 		sess.claim = share
 		return share
 	default: // ArbExclusive
 		return 1
 	}
+}
+
+// releaseClaim returns a session's greedy claim to the pool. Whenever no
+// live session holds a claim the pool is reset to exactly 0, so drift from
+// long admit/retire cycles can never compound across pool generations.
+func (e *Engine) releaseClaim(sess *Session) {
+	if sess.claim > 0 {
+		e.claimants--
+		e.claimed -= sess.claim
+	}
+	sess.claim = 0
+	if e.claimants == 0 {
+		e.claimed = 0
+		return
+	}
+	e.claimed = clamp01(e.claimed)
+}
+
+// clamp01 pins a budget fraction into [0, 1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // scaledCaps scales per-layer per-group unit capacities by a budget

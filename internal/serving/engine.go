@@ -12,12 +12,14 @@ import (
 // Run drains the workload to completion under continuous batching and
 // returns the aggregate report. Each tick the engine (1) collects the
 // workload's arrivals, shuffling same-tick groups with the seeded RNG and
-// queueing them, (2) fills free batch slots with the scheduler's picks,
-// (3) advances every active session by the token quantum, and (4) retires
-// drained sessions, reporting them back to the workload (closed-loop
-// feedback). Everything runs on the simulated tick clock, so reports are
-// bit-identical across runs and worker counts; only the Wall annotation
-// varies.
+// queueing them, (2) fills free batch slots with the scheduler's picks —
+// resuming suspended sessions exactly like fresh entries — (3) lets the
+// preemptor displace running sessions that queued entries strictly
+// outrank, (4) advances every active session by the token quantum, and
+// (5) retires drained sessions, reporting them back to the workload
+// (closed-loop feedback). Everything runs on the simulated tick clock, so
+// reports are bit-identical across runs and worker counts; only the Wall
+// annotation varies.
 func (e *Engine) Run() (*Report, error) {
 	if e.ran {
 		return nil, fmt.Errorf("serving: engine already ran")
@@ -64,12 +66,42 @@ func (e *Engine) Run() (*Report, error) {
 			}
 			qe := queue[best]
 			queue = append(queue[:best], queue[best+1:]...)
-			sess, err := e.admit(qe, rank, tick)
+			sess, err := e.place(qe, &rank, tick)
 			if err != nil {
 				return nil, err
 			}
-			rank++
 			active = append(active, sess)
+		}
+		// Preemption: with the batch full and entries still queued, let the
+		// preemptor pull rank. Each round suspends the named victim in
+		// place (the slot keeps its position, so shared-cache commit order
+		// stays the slot order) and admits the scheduler-best entry among
+		// those able to preempt; the loop re-scans because a suspended
+		// session re-enters the queue and may itself outrank a third
+		// session. Strict preemptors guarantee termination: every takeover
+		// strictly lowers the displaced slot's pressure rank.
+		for len(queue) > 0 {
+			slot := e.pre.Victim(active)
+			if slot < 0 {
+				break
+			}
+			qi := -1
+			for i, qe := range queue {
+				if e.pre.Outranks(qe, active[slot]) && (qi < 0 || e.sched.Less(queue[i], queue[qi])) {
+					qi = i
+				}
+			}
+			if qi < 0 {
+				break
+			}
+			qe := queue[qi]
+			queue = append(queue[:qi], queue[qi+1:]...)
+			queue = append(queue, e.suspend(active[slot], tick))
+			sess, err := e.place(qe, &rank, tick)
+			if err != nil {
+				return nil, err
+			}
+			active[slot] = sess
 		}
 		if len(active) == 0 {
 			// Nothing to decode: an arrival gap in an open-loop trace or a
@@ -120,12 +152,22 @@ func deadlineOf(arriveTick int, slo SLO) int {
 // tickPartitioned advances each active session by up to Quantum tokens.
 // Partitioned sessions share no mutable state — each owns its scheme clone,
 // decoder, cache, and meter — so the batch fans out over the worker pool
-// and per-session results cannot depend on scheduling.
+// and per-session results cannot depend on scheduling. A session that
+// drains mid-quantum records the 1-based sub-step it drained on: every
+// session's q-th step of a tick is sub-step q in all three tick paths, so
+// the offset is bit-identical fused or not.
 func (e *Engine) tickPartitioned(active []*Session) {
 	parallel.For(len(active), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			st := active[i].stream
-			for q := 0; q < e.cfg.Quantum && st.Step(); q++ {
+			s := active[i]
+			for q := 1; q <= e.cfg.Quantum; q++ {
+				if !s.stream.Step() {
+					break
+				}
+				if s.stream.Done() {
+					s.finishSub = q
+					break
+				}
 			}
 		}
 	})
@@ -143,9 +185,11 @@ func (e *Engine) tickPartitioned(active []*Session) {
 func (e *Engine) tickFused(active []*Session) {
 	for q := 0; q < e.cfg.Quantum; q++ {
 		e.batch = e.batch[:0]
+		e.batchSess = e.batchSess[:0]
 		for _, s := range active {
 			if !s.stream.Done() {
 				e.batch = append(e.batch, s.stream)
+				e.batchSess = append(e.batchSess, s)
 			}
 		}
 		if len(e.batch) == 0 {
@@ -166,6 +210,11 @@ func (e *Engine) tickFused(active []*Session) {
 				st.Commit()
 			}
 		}
+		for _, s := range e.batchSess {
+			if s.stream.Done() {
+				s.finishSub = q + 1
+			}
+		}
 	}
 }
 
@@ -179,7 +228,12 @@ func (e *Engine) tickShared(active []*Session) {
 	for q := 0; q < e.cfg.Quantum; q++ {
 		parallel.For(len(active), 1, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				active[i].stream.Step()
+				// Each worker owns a disjoint session range, so recording
+				// the finish sub-step here cannot race.
+				s := active[i]
+				if s.stream.Step() && s.stream.Done() {
+					s.finishSub = q + 1
+				}
 			}
 		})
 		for _, s := range active {

@@ -25,13 +25,26 @@ type SessionMetrics struct {
 	// ArriveTick/AdmitTick/FinishTick are the session's simulated timeline.
 	ArriveTick, AdmitTick, FinishTick int
 	// QueueTicks is the arrival→admission queueing delay; TurnaroundTicks is
-	// the arrival→finish span.
+	// the arrival→finish span in whole ticks (FinishTick − ArriveTick).
 	QueueTicks, TurnaroundTicks int
+	// FinishSubStep is the 1-based sub-quantum step the stream drained on
+	// (Quantum = the tick's last step; 0 only for a degenerate stream that
+	// never stepped). FinishTime is the de-quantized finish instant,
+	// FinishTick−1 + FinishSubStep/Quantum, and Turnaround the fractional
+	// arrival→finish span used for percentiles — a session draining on
+	// sub-step 1 of an 8-token quantum no longer pays for the 7 steps it
+	// never ran.
+	FinishSubStep int
+	FinishTime    float64
+	Turnaround    float64
 	// DeadlineTick is the absolute SLO deadline (NoDeadline when the request
-	// has none); Attained reports FinishTick ≤ DeadlineTick, vacuously true
+	// has none); Attained reports FinishTime ≤ DeadlineTick, vacuously true
 	// without a deadline.
 	DeadlineTick int
 	Attained     bool
+	// Preemptions counts how often the session was suspended mid-run;
+	// ResumeDelayTicks is the total ticks it spent suspended.
+	Preemptions, ResumeDelayTicks int
 }
 
 // ClassMetrics aggregates one SLO class.
@@ -62,12 +75,16 @@ type WallClock struct {
 // deterministic: bit-identical across runs and worker counts for a fixed
 // seed.
 type Report struct {
-	// Workload and Sched name the run's request source and admission policy.
-	Workload string
-	Sched    string
-	Arb      ArbPolicy
-	Sessions []SessionMetrics // in submission order
-	Ticks    int
+	// Workload, Sched, and Preemptor name the run's request source,
+	// admission policy, and preemption policy.
+	Workload  string
+	Sched     string
+	Preemptor string
+	Arb       ArbPolicy
+	Sessions  []SessionMetrics // in submission order
+	Ticks     int
+	// Preemptions is the aggregate mid-run suspension count.
+	Preemptions int
 
 	// TotalTokens is the token count decoded across all sessions.
 	TotalTokens int
@@ -82,7 +99,8 @@ type Report struct {
 	SimLatencyP50, SimLatencyP90, SimLatencyP99 float64
 	// QueueP50/P90/P99 are percentiles of arrival→admission delay in ticks.
 	QueueP50, QueueP90, QueueP99 float64
-	// TurnaroundP50/P90/P99 are percentiles of arrival→finish span in ticks.
+	// TurnaroundP50/P90/P99 are percentiles of arrival→finish span in ticks
+	// at sub-quantum resolution (see SessionMetrics.Turnaround).
 	TurnaroundP50, TurnaroundP90, TurnaroundP99 float64
 	// SLOAttainRate is attained/deadlined over sessions with real deadlines
 	// (1 when none have one). Classes breaks attainment and delay down per
@@ -97,8 +115,8 @@ type Report struct {
 // report assembles the Report after the engine loop drains.
 func (e *Engine) report(ticks int, wall time.Duration) *Report {
 	r := &Report{
-		Workload: e.w.Name(), Sched: e.sched.Name(), Arb: e.cfg.Arb,
-		Ticks: ticks, Wall: WallClock{Seconds: wall.Seconds()},
+		Workload: e.w.Name(), Sched: e.sched.Name(), Preemptor: e.pre.Name(), Arb: e.cfg.Arb,
+		Ticks: ticks, Preemptions: e.preempts, Wall: WallClock{Seconds: wall.Seconds()},
 	}
 	var simSeconds float64
 	var hits, misses int64
@@ -112,14 +130,23 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 			continue
 		}
 		pt := s.stream.Point()
+		finishTime := float64(s.finishTick)
+		if s.finishSub > 0 && s.finishSub < e.cfg.Quantum {
+			finishTime = float64(s.finishTick-1) + float64(s.finishSub)/float64(e.cfg.Quantum)
+		}
 		sm := SessionMetrics{
 			ID: s.ID, Index: s.Index, Point: pt,
 			Tokens: s.stream.Pos(), Share: s.Share, SLO: s.SLO, AdmitRank: s.AdmitRank,
 			ArriveTick: s.arriveTick, AdmitTick: s.admitTick, FinishTick: s.finishTick,
-			QueueTicks:      s.admitTick - s.arriveTick,
-			TurnaroundTicks: s.finishTick - s.arriveTick,
-			DeadlineTick:    s.deadlineTick,
-			Attained:        s.finishTick <= s.deadlineTick,
+			QueueTicks:       s.admitTick - s.arriveTick,
+			TurnaroundTicks:  s.finishTick - s.arriveTick,
+			FinishSubStep:    s.finishSub,
+			FinishTime:       finishTime,
+			Turnaround:       finishTime - float64(s.arriveTick),
+			DeadlineTick:     s.deadlineTick,
+			Attained:         finishTime <= float64(s.deadlineTick),
+			Preemptions:      s.preempts,
+			ResumeDelayTicks: s.resumeDelay,
 		}
 		r.Sessions = append(r.Sessions, sm)
 		r.TotalTokens += sm.Tokens
@@ -129,7 +156,7 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 		misses += m
 		simLats = append(simLats, pt.LatencyS)
 		queues = append(queues, float64(sm.QueueTicks))
-		turns = append(turns, float64(sm.TurnaroundTicks))
+		turns = append(turns, sm.Turnaround)
 		if sm.DeadlineTick != NoDeadline {
 			deadlined++
 			if sm.Attained {
@@ -191,7 +218,7 @@ func classMetrics(name string, sms []SessionMetrics) ClassMetrics {
 	turns := make([]float64, 0, len(sms))
 	for _, sm := range sms {
 		queues = append(queues, float64(sm.QueueTicks))
-		turns = append(turns, float64(sm.TurnaroundTicks))
+		turns = append(turns, sm.Turnaround)
 		if sm.DeadlineTick != NoDeadline {
 			cm.Deadlined++
 			if sm.Attained {

@@ -1,0 +1,109 @@
+package serving
+
+import "fmt"
+
+// Preemptor decides whether a queued entry's scheduling pressure justifies
+// suspending a running session to make room for it. The engine consults it
+// every tick, after continuous batching has filled any free slots: while
+// some queued entry can name a victim, the victim is suspended — its
+// eval.Stream state is retained, its partitioned cache grant (and greedy
+// claim) is released, and under ArbShared only the slot frees — re-queued
+// with its original Order and ArriveTick, and the entry takes its slot. A
+// suspended session is resumed later through the ordinary admission path
+// and continues the same stream where it stopped.
+//
+// Implementations must be deterministic pure functions of the entry and the
+// sessions' scheduling state (deadline, priority, order) — the preemption
+// scan runs serially in the engine loop, so any such policy keeps reports
+// bit-identical across runs and worker counts. They must also be strict:
+// an entry may only displace a session it strictly outranks, so a freshly
+// suspended victim can never preempt its preemptor back and every
+// within-tick preemption chain terminates.
+type Preemptor interface {
+	// Name identifies the policy (CLI-compatible: see ParsePreemptor).
+	Name() string
+	// Victim returns the index into active of the most preemptable running
+	// session under this policy (the loosest deadline, the lowest
+	// priority, …), or -1 when nothing is ever preemptable. The choice is
+	// entry-independent: the loosest victim is maximal, so an entry that
+	// cannot displace it cannot displace anyone. The engine computes it
+	// once per preemption round.
+	Victim(active []*Session) int
+	// Outranks reports whether the queued entry's pressure strictly
+	// exceeds the session's — the admission test against Victim's pick.
+	Outranks(qe *QueueEntry, s *Session) bool
+}
+
+// noPreempt never preempts — the engine's default, and PR 3's behavior.
+type noPreempt struct{}
+
+// NoPreempt returns the do-nothing preemptor (the default).
+func NoPreempt() Preemptor { return noPreempt{} }
+
+func (noPreempt) Name() string                        { return "none" }
+func (noPreempt) Victim([]*Session) int               { return -1 }
+func (noPreempt) Outranks(*QueueEntry, *Session) bool { return false }
+
+// deadlinePreempt suspends the running session with the latest absolute
+// deadline (deadline-less sessions rank loosest of all) whenever the queued
+// entry's deadline is strictly earlier — EDF pressure extended from the
+// admission queue into the running batch. Strict inequality means
+// equal-deadline sessions never displace each other, and a preempted
+// session (whose deadline is by construction later than its preemptor's)
+// can only ever preempt a third, still-later session.
+type deadlinePreempt struct{}
+
+// DeadlinePreempt returns the earliest-deadline-first preemptor.
+func DeadlinePreempt() Preemptor { return deadlinePreempt{} }
+
+func (deadlinePreempt) Name() string { return "deadline" }
+func (deadlinePreempt) Victim(active []*Session) int {
+	v := -1
+	for i, s := range active {
+		// The loosest victim: latest deadline, then latest Order (the most
+		// recent arrival yields first among equals).
+		if v < 0 || s.deadlineTick > active[v].deadlineTick ||
+			(s.deadlineTick == active[v].deadlineTick && s.order > active[v].order) {
+			v = i
+		}
+	}
+	return v
+}
+func (deadlinePreempt) Outranks(qe *QueueEntry, s *Session) bool {
+	return qe.Deadline < s.deadlineTick
+}
+
+// priorityPreempt suspends the lowest-priority running session whenever the
+// queued entry's SLO priority is strictly higher.
+type priorityPreempt struct{}
+
+// PriorityPreempt returns the strict-priority preemptor.
+func PriorityPreempt() Preemptor { return priorityPreempt{} }
+
+func (priorityPreempt) Name() string { return "prio" }
+func (priorityPreempt) Victim(active []*Session) int {
+	v := -1
+	for i, s := range active {
+		if v < 0 || s.SLO.Priority < active[v].SLO.Priority ||
+			(s.SLO.Priority == active[v].SLO.Priority && s.order > active[v].order) {
+			v = i
+		}
+	}
+	return v
+}
+func (priorityPreempt) Outranks(qe *QueueEntry, s *Session) bool {
+	return qe.Req.SLO.Priority > s.SLO.Priority
+}
+
+// Preemptors lists every built-in preemptor in declaration order.
+func Preemptors() []Preemptor { return []Preemptor{NoPreempt(), DeadlinePreempt(), PriorityPreempt()} }
+
+// ParsePreemptor maps a CLI name to its preemptor.
+func ParsePreemptor(s string) (Preemptor, error) {
+	for _, p := range Preemptors() {
+		if p.Name() == s {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("serving: unknown preemptor %q (none|deadline|prio)", s)
+}

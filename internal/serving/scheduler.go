@@ -16,6 +16,12 @@ type QueueEntry struct {
 	// Deadline is the absolute SLO deadline tick (ArriveTick +
 	// SLO.DeadlineTicks), or NoDeadline when the request has none.
 	Deadline int
+	// Sess is non-nil for a preempted session waiting to resume: admission
+	// continues its retained stream instead of building a new one. The
+	// entry keeps the session's original Order, ArriveTick, and Deadline,
+	// so schedulers rank a suspended session exactly as they ranked the
+	// fresh request.
+	Sess *Session
 }
 
 // NoDeadline is the Deadline of a request without an SLO deadline; it sorts

@@ -9,7 +9,10 @@
 // ClosedLoop, or a replayed Trace) — each carrying an SLO class (priority
 // and deadline ticks). A pluggable Scheduler (FCFS, strict priority, or
 // earliest-deadline-first) orders the admission queue; continuous batching
-// refills a slot the moment its session finishes. Each tick the engine fans
+// refills a slot the moment its session finishes; and a pluggable
+// Preemptor (none, deadline, prio) may suspend a running session whose
+// pressure a queued entry strictly outranks, resuming its retained stream
+// later (see Preemptor). Each tick the engine fans
 // the active batch out over the shared worker pool and advances every
 // session by a token quantum through eval.Stream — the same per-token
 // machinery SystemEvaluate uses, so a session evaluated alone is
@@ -73,6 +76,11 @@ type Config struct {
 	Arb ArbPolicy
 	// Sched orders the admission queue (nil = FCFS).
 	Sched Scheduler
+	// Preempt decides mid-run slot takeovers (nil = NoPreempt): when a
+	// queued entry's deadline or priority pressure strictly exceeds a
+	// running session's, the victim is suspended (its stream state kept,
+	// its cache grant released per Arb) and re-queued for a later resume.
+	Preempt Preemptor
 	// MaxActive is the batch width: how many sessions decode concurrently.
 	// Defaults to 4. It is deliberately not derived from the worker-pool
 	// size — batch width shapes cache arbitration (fair shares are
@@ -107,11 +115,20 @@ type Session struct {
 	Share float64
 
 	stream *eval.Stream
-	claim  float64 // greedy pool claim, released at retirement
+	claim  float64 // greedy pool claim, released at suspension/retirement
+	order  int     // the request's queue Order, kept for re-queueing
 
 	// Simulated-clock timeline: arrival (workload), admission (scheduler),
 	// finish (retirement), and the absolute SLO deadline (NoDeadline = none).
 	arriveTick, admitTick, finishTick, deadlineTick int
+	// finishSub is the 1-based sub-quantum step on which the stream drained
+	// (0 only for degenerate streams that never stepped): the sub-tick
+	// finish offset that de-quantizes turnaround and SLO accounting.
+	finishSub int
+	// Preemption bookkeeping: how often this session was suspended, the
+	// tick of the most recent suspension, and the cumulative ticks spent
+	// suspended (suspend → resume).
+	preempts, suspendTick, resumeDelay int
 }
 
 // Engine drains one workload to completion.
@@ -121,20 +138,25 @@ type Engine struct {
 	w         Workload
 	reqs      []Request // the workload's request universe
 	sched     Scheduler
+	pre       Preemptor
 	plan      *hwsim.Plan
 	shared    *cache.ModelCache // non-nil under ArbShared
 	sessions  []*Session        // by submission index, filled at admission
 	arrived   []bool            // duplicate-arrival guard, by submission index
-	claimed   float64           // greedy pool state
+	claimed   float64           // greedy pool state: granted budget fraction
+	claimants int               // live sessions holding a nonzero greedy claim
+	preempts  int               // aggregate preemption count
 	ran       bool
 	wallStart time.Time
 
 	// Per-tick scratch, reused across the run so steady-state ticks do not
-	// allocate engine-side: the fused-step batch and arena, and the
+	// allocate engine-side: the fused-step batch (streams plus their
+	// sessions, for sub-quantum finish accounting) and arena, and the
 	// same-tick arrival shuffle buffer.
-	arena   eval.BatchArena
-	batch   []*eval.Stream
-	shuffle []int
+	arena     eval.BatchArena
+	batch     []*eval.Stream
+	batchSess []*Session
+	shuffle   []int
 }
 
 // NewEngine validates the configuration and lays out the shared memory
@@ -156,6 +178,9 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	}
 	if cfg.Sched == nil {
 		cfg.Sched = FCFS()
+	}
+	if cfg.Preempt == nil {
+		cfg.Preempt = NoPreempt()
 	}
 	reqs := w.Requests()
 	if len(reqs) == 0 {
@@ -192,9 +217,10 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		m: m, cfg: cfg, w: w, reqs: reqs, sched: cfg.Sched, plan: plan,
+		m: m, cfg: cfg, w: w, reqs: reqs, sched: cfg.Sched, pre: cfg.Preempt, plan: plan,
 		sessions: make([]*Session, len(reqs)), arrived: make([]bool, len(reqs)),
-		batch: make([]*eval.Stream, 0, cfg.MaxActive),
+		batch:     make([]*eval.Stream, 0, cfg.MaxActive),
+		batchSess: make([]*Session, 0, cfg.MaxActive),
 	}
 	if cfg.Arb == ArbShared {
 		e.shared = plan.NewCache(cfg.System.Policy)
@@ -212,7 +238,7 @@ func (e *Engine) SharedCache() *cache.ModelCache { return e.shared }
 func (e *Engine) admit(qe *QueueEntry, rank, tick int) (*Session, error) {
 	req := qe.Req
 	sess := &Session{
-		ID: req.ID, Index: qe.Index, SLO: req.SLO, AdmitRank: rank,
+		ID: req.ID, Index: qe.Index, SLO: req.SLO, AdmitRank: rank, order: qe.Order,
 		arriveTick: qe.ArriveTick, admitTick: tick, deadlineTick: qe.Deadline,
 	}
 	scheme := sparsity.Clone(req.Scheme)
@@ -238,9 +264,56 @@ func (e *Engine) admit(qe *QueueEntry, rank, tick int) (*Session, error) {
 	return sess, nil
 }
 
+// place admits a fresh queue entry (consuming one admission rank) or
+// resumes a suspended one: the session's retained stream picks up where it
+// stopped, and under the partitioned pool policies a fresh cache is granted
+// at the policy's current share. ArbExclusive sessions keep their private
+// over-committed cache across the suspension (a resumed run is
+// bit-identical to an uninterrupted one), and ArbShared sessions keep the
+// shared cache — only the slot was freed.
+func (e *Engine) place(qe *QueueEntry, rank *int, tick int) (*Session, error) {
+	if qe.Sess == nil {
+		sess, err := e.admit(qe, *rank, tick)
+		if err != nil {
+			return nil, err
+		}
+		*rank++
+		return sess, nil
+	}
+	sess := qe.Sess
+	sess.resumeDelay += tick - sess.suspendTick
+	switch e.cfg.Arb {
+	case ArbFairShare, ArbGreedy:
+		share := e.grant(sess)
+		sess.Share = share
+		sess.stream.Regrant(cache.NewModelCache(e.cfg.System.Policy, scaledCaps(e.plan.Caps, share), e.plan.NUnits))
+	}
+	return sess, nil
+}
+
+// suspend preempts a running session: its stream state is retained for a
+// later resume, its partitioned cache grant (fair/greedy) is released —
+// preemption frees real memory, so the partition's contents are lost and
+// the resume starts a cold cache at a fresh grant — and the session is
+// wrapped back into a queue entry carrying its original Order, ArriveTick,
+// and deadline so schedulers rank it exactly as before.
+func (e *Engine) suspend(sess *Session, tick int) *QueueEntry {
+	sess.preempts++
+	e.preempts++
+	sess.suspendTick = tick
+	switch e.cfg.Arb {
+	case ArbFairShare, ArbGreedy:
+		e.releaseClaim(sess)
+		sess.stream.Release()
+	}
+	return &QueueEntry{
+		Req: e.reqs[sess.Index], Index: sess.Index, Sess: sess,
+		ArriveTick: sess.arriveTick, Order: sess.order, Deadline: sess.deadlineTick,
+	}
+}
+
 // retire finalizes a finished session and releases any greedy claim.
 func (e *Engine) retire(sess *Session, tick int) {
 	sess.finishTick = tick
-	e.claimed -= sess.claim
-	sess.claim = 0
+	e.releaseClaim(sess)
 }

@@ -38,7 +38,9 @@ var traceColumns = []string{"id", "tick", "tokens", "start", "class", "priority"
 
 // ParseTrace reads a trace from JSON (an array of entries) or CSV (header
 // row "id,tick,tokens[,start,class,priority,deadline_ticks,scheme]"),
-// sniffing the format from the first non-space byte.
+// sniffing the format from the first non-space byte. Arrival ticks must be
+// non-negative and nondecreasing; a violation is a hard error naming the
+// offending line (CSV) or entry (JSON), not a silent re-sort.
 func ParseTrace(r io.Reader) ([]TraceEntry, error) {
 	br := bufio.NewReader(r)
 	for {
@@ -64,7 +66,30 @@ func parseTraceJSON(r io.Reader) ([]TraceEntry, error) {
 	if err := dec.Decode(&entries); err != nil {
 		return nil, fmt.Errorf("serving: JSON trace: %w", err)
 	}
+	prev := 0
+	for i, e := range entries {
+		if err := checkTick(e, prev, fmt.Sprintf("entry %d", i+1)); err != nil {
+			return nil, err
+		}
+		prev = e.Tick
+	}
 	return entries, nil
+}
+
+// checkTick rejects a trace record whose arrival tick is negative or runs
+// backwards. A file is required to be arrival-sorted: silently reordering
+// (or replaying as-is) would let the workload's NextArrival claim a tick
+// already in the past, which the engine reports as a stall — a much less
+// actionable error than the offending line.
+func checkTick(e TraceEntry, prev int, at string) error {
+	if e.Tick < 0 {
+		return fmt.Errorf("serving: trace %s (id %q): negative arrival tick %d", at, e.ID, e.Tick)
+	}
+	if e.Tick < prev {
+		return fmt.Errorf("serving: trace %s (id %q): arrival tick %d before the preceding entry's %d — traces must be sorted by tick",
+			at, e.ID, e.Tick, prev)
+	}
+	return nil
 }
 
 func parseTraceCSV(r io.Reader) ([]TraceEntry, error) {
@@ -110,6 +135,7 @@ func parseTraceCSV(r io.Reader) ([]TraceEntry, error) {
 		return ""
 	}
 	var entries []TraceEntry
+	prev := 0
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -128,6 +154,10 @@ func parseTraceCSV(r io.Reader) ([]TraceEntry, error) {
 				return nil, err
 			}
 		}
+		if err := checkTick(e, prev, fmt.Sprintf("line %d", line)); err != nil {
+			return nil, err
+		}
+		prev = e.Tick
 		entries = append(entries, e)
 	}
 }

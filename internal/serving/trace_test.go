@@ -63,10 +63,23 @@ func TestParseTraceRejections(t *testing.T) {
 		"unknown column": "id,tick,tokens,wat\nx,0,1,2\n",
 		"non-numeric":    "id,tick,tokens\nx,zero,1\n",
 		"ragged csv":     "id,tick,tokens\nx,0\n",
+		"negative tick":  `[{"id": "a", "tick": -3, "tokens": 1}]`,
+		"unsorted json":  `[{"id": "a", "tick": 5, "tokens": 1}, {"id": "b", "tick": 2, "tokens": 1}]`,
+		"unsorted csv":   "id,tick,tokens\na,5,1\nb,2,1\n",
 	} {
 		if _, err := ParseTrace(strings.NewReader(src)); err == nil {
 			t.Fatalf("%s: expected parse error", name)
 		}
+	}
+	// Ordering violations must name the offending record, so a bad line in
+	// a million-entry trace is findable.
+	_, err := ParseTrace(strings.NewReader("id,tick,tokens\na,5,1\nb,2,1\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("unsorted CSV error should name line 3 and id b: %v", err)
+	}
+	_, err = ParseTrace(strings.NewReader(`[{"id": "a", "tick": 1, "tokens": 1}, {"id": "b", "tick": -2, "tokens": 1}]`))
+	if err == nil || !strings.Contains(err.Error(), "entry 2") || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative JSON tick error should name entry 2: %v", err)
 	}
 }
 
