@@ -16,13 +16,15 @@
 //	dipbench -serve -workload trace -trace trace.json -arb shared
 //	dipbench -serve -small -fuse both  # fused vs per-session decode, one report
 //	dipbench -serve -sched edf -preempt deadline  # deadline-aware preemption
+//	dipbench -serve -small -faults 0.05 -retry 3 -shed 8  # seeded chaos on the grid
+//	dipbench -exp chaos -small        # fault-injection grid: recovery vs baseline
 //
 // The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
-// -sched, -preempt, -arb, -fuse) are rejected without -serve (or -exp serve / -exp all),
-// -small conflicts with an explicit -scale paper, and -slo/-rate are
-// rejected where they would be ignored (trace files carry their own
-// deadlines; only poisson has a rate) — all hard errors, not silent
-// overrides.
+// -sched, -preempt, -arb, -fuse, -faults, -retry, -shed) are rejected
+// without -serve (or -exp serve / -exp chaos / -exp all), -small conflicts
+// with an explicit -scale paper, and -slo/-rate are rejected where they
+// would be ignored (trace files carry their own deadlines; only poisson has
+// a rate) — all hard errors, not silent overrides.
 //
 // Every run also emits a machine-readable BENCH_results.json (per
 // experiment: wall time in ns and the headline row of each table) into -out
@@ -34,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -99,6 +102,9 @@ func run() int {
 		preempt    = flag.String("preempt", "", "with -serve: restrict the grid to one preemption policy (none|deadline|prio)")
 		fuse       = flag.String("fuse", "", "with -serve: batched decode path (on|off|both; both runs each cell through both paths, checks the reports match bit for bit, and records both wall throughputs)")
 		arb        = flag.String("arb", "", "with -serve: restrict the grid to one arbitration policy (exclusive|fair|greedy|shared)")
+		faultRate  = flag.Float64("faults", 0, "with -serve or -exp chaos: seeded fault-injection rate in [0,1] (faults.Mix; 0 = off for -serve, the default sweep for chaos)")
+		retry      = flag.Int("retry", 0, "with -serve or -exp chaos: retry budget in total attempts under fault injection (0 = engine default 3; 1 = no recovery)")
+		shed       = flag.Int("shed", 0, "with -serve or -exp chaos: admission-control queue budget (0 = no shedding; positive also enables graceful degradation)")
 		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -124,15 +130,15 @@ func run() int {
 	// reproducible run. -exp all includes the serve experiment, so the
 	// shaping flags pass through; -small stays serve-only because it forces
 	// the scale, which would rescale every other experiment too.
-	servesToo := *exp == "serve" || *exp == "all"
-	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse"} {
+	servesToo := *exp == "serve" || *exp == "chaos" || *exp == "all"
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed"} {
 		if set[f] && !servesToo {
-			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenario; add -serve (or -exp serve / -exp all)\n", f)
+			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenarios; add -serve (or -exp serve / -exp chaos / -exp all)\n", f)
 			return 2
 		}
 	}
-	if *small && *exp != "serve" {
-		fmt.Fprintln(os.Stderr, "dipbench: -small only applies to the serving scenario; add -serve (or -exp serve)")
+	if *small && *exp != "serve" && *exp != "chaos" {
+		fmt.Fprintln(os.Stderr, "dipbench: -small only applies to the serving scenarios; add -serve (or -exp serve / -exp chaos)")
 		return 2
 	}
 	if *small {
@@ -174,6 +180,29 @@ func run() int {
 		if _, err := serving.ParseArbPolicy(*arb); err != nil {
 			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
 			return 2
+		}
+	}
+	if set["faults"] && (math.IsNaN(*faultRate) || *faultRate <= 0 || *faultRate > 1) {
+		fmt.Fprintf(os.Stderr, "dipbench: -faults must be a rate in (0, 1], got %v\n", *faultRate)
+		return 2
+	}
+	if set["retry"] && *retry <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -retry must be a positive total attempt count (1 = no recovery), got %d\n", *retry)
+		return 2
+	}
+	if set["shed"] && *shed <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -shed must be a positive queue budget, got %d\n", *shed)
+		return 2
+	}
+	if *exp == "chaos" {
+		// The chaos grid pins its workload (poisson) and scheduler (EDF) so
+		// the recovery comparison is apples to apples; flags that would be
+		// silently ignored are hard errors, as everywhere else.
+		for _, f := range []string{"workload", "trace", "sched", "fuse"} {
+			if set[f] {
+				fmt.Fprintf(os.Stderr, "dipbench: -%s does not apply to the chaos scenario (fixed poisson workload, EDF admission)\n", f)
+				return 2
+			}
 		}
 	}
 	if set["slo"] && *slo <= 0 {
@@ -243,6 +272,9 @@ func run() int {
 	lab.ServeSLO = *slo
 	lab.ServeTrace = *tracePath
 	lab.ServeFuse = *fuse
+	lab.ServeFaults = *faultRate
+	lab.ServeRetry = *retry
+	lab.ServeShed = *shed
 	if *verbose {
 		lab.Log = os.Stderr
 	}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/serving"
+)
+
+// declaredFlags parses main.go and returns every flag declaration's name →
+// usage string.
+func declaredFlags(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "main.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := make(map[string]string)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		name, ok1 := strLit(call.Args[0])
+		usage, ok2 := strLit(call.Args[len(call.Args)-1])
+		if ok1 && ok2 {
+			flags[name] = usage
+		}
+		return true
+	})
+	if len(flags) == 0 {
+		t.Fatal("found no flag declarations in main.go")
+	}
+	return flags
+}
+
+// servingGuardList extracts the []string literal driving the serving-only
+// flag guard (the one list that includes "seed").
+func servingGuardList(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "main.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var guard []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		at, ok := lit.Type.(*ast.ArrayType)
+		if !ok {
+			return true
+		}
+		if id, ok := at.Elt.(*ast.Ident); !ok || id.Name != "string" {
+			return true
+		}
+		var elems []string
+		hasSeed := false
+		for _, e := range lit.Elts {
+			s, ok := strLit(e)
+			if !ok {
+				return true
+			}
+			elems = append(elems, s)
+			hasSeed = hasSeed || s == "seed"
+		}
+		if hasSeed {
+			guard = elems
+		}
+		return true
+	})
+	if guard == nil {
+		t.Fatal("found no serving-only guard list (the []string containing \"seed\") in main.go")
+	}
+	return guard
+}
+
+func strLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil
+}
+
+// Keep-in-sync check: every flag documented as serving-scoped ("with
+// -serve" usage prefix) must be caught by the serving-only guard — a new
+// serving flag that skips the guard would be silently ignored outside
+// -serve, exactly the failure mode the guard exists to prevent — and the
+// guard must not name flags that do not exist or are not serving-scoped.
+// -small is the one sanctioned exception: it has its own dedicated check
+// because it also forces the scale.
+func TestServingFlagsAreGuarded(t *testing.T) {
+	flags := declaredFlags(t)
+	guard := servingGuardList(t)
+	guarded := map[string]bool{"small": true}
+	for _, f := range guard {
+		if guarded[f] {
+			t.Errorf("guard lists -%s twice", f)
+		}
+		guarded[f] = true
+	}
+	for name, usage := range flags {
+		if strings.HasPrefix(usage, "with -serve") && !guarded[name] {
+			t.Errorf("flag -%s is documented as serving-scoped but missing from the serving-only guard list", name)
+		}
+	}
+	for _, f := range guard {
+		usage, ok := flags[f]
+		if !ok {
+			t.Errorf("guard names -%s, which is not a declared flag", f)
+			continue
+		}
+		if !strings.HasPrefix(usage, "with -serve") {
+			t.Errorf("guarded flag -%s does not declare itself serving-scoped (usage %q)", f, usage)
+		}
+	}
+}
+
+// Keep-in-sync check: the name enumerations baked into flag usage strings
+// must track the serving package's registries, so -list-style discovery in
+// `dipbench -h` never drifts from what the parsers (and therefore
+// NewEngine) accept.
+func TestFlagUsageEnumerationsMatchServingRegistries(t *testing.T) {
+	flags := declaredFlags(t)
+	check := func(flagName string, names []string) {
+		usage, ok := flags[flagName]
+		if !ok {
+			t.Fatalf("flag -%s not declared", flagName)
+		}
+		for _, n := range names {
+			if !strings.Contains(usage, n) {
+				t.Errorf("-%s usage %q omits registered name %q", flagName, usage, n)
+			}
+		}
+	}
+	check("workload", serving.WorkloadNames())
+	var scheds, pres, arbs []string
+	for _, s := range serving.Schedulers() {
+		scheds = append(scheds, s.Name())
+	}
+	for _, p := range serving.Preemptors() {
+		pres = append(pres, p.Name())
+	}
+	for _, a := range serving.Policies() {
+		arbs = append(arbs, a.String())
+	}
+	check("sched", scheds)
+	check("preempt", pres)
+	check("arb", arbs)
+	// The robustness flags reach the chaos scenario too; their usage must
+	// say so, since the guard error message points users at it.
+	for _, f := range []string{"faults", "retry", "shed"} {
+		if !strings.Contains(flags[f], "chaos") {
+			t.Errorf("-%s usage %q does not mention the chaos scenario", f, flags[f])
+		}
+	}
+}

@@ -117,6 +117,7 @@ func BatchStep(sts []*Stream, a *BatchArena) int {
 	a.lcol = tensor.Reuse(a.lcol, logits.Rows)
 	for b, st := range a.active {
 		st.pos++
+		st.decoded++
 		st.winPos++
 		if st.winPos < st.win {
 			// This position predicts the next token of the same window; the

@@ -280,3 +280,73 @@ func TestDensityAccumulator(t *testing.T) {
 		t.Fatalf("mean = %v", acc.Mean())
 	}
 }
+
+// Restart rewinds a stream for a from-scratch re-prefill (the serving
+// engine's destructive-fault recovery): the rerun's CE, prediction count,
+// and density must equal a fresh stream's bit for bit, while Decoded keeps
+// counting the discarded prefix that Pos forgets.
+func TestStreamRestartReplaysFromScratch(t *testing.T) {
+	trained(t)
+	cfg := SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU}
+	toks := zoo.test[:96]
+	st, err := NewStream(zoo.m, sparsity.NewDIP(0.5), toks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !st.Step() {
+			t.Fatal("stream drained during the discarded prefix")
+		}
+	}
+	st.Restart()
+	if st.Pos() != 0 || st.Decoded() != 10 {
+		t.Fatalf("after Restart: Pos %d (want 0), Decoded %d (want 10)", st.Pos(), st.Decoded())
+	}
+	for st.Step() {
+	}
+	fresh, err := NewStream(zoo.m, sparsity.NewDIP(0.5), toks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fresh.Step() {
+	}
+	ceA, pA := st.CE()
+	ceB, pB := fresh.CE()
+	if ceA != ceB || pA != pB {
+		t.Fatalf("restarted CE (%v, %d) != fresh CE (%v, %d)", ceA, pA, ceB, pB)
+	}
+	if a, b := st.Point(), fresh.Point(); a.PPL != b.PPL || a.Density != b.Density {
+		t.Fatalf("restarted Point diverged from fresh run:\nrestarted %+v\nfresh     %+v", a, b)
+	}
+	if st.Pos() != 96 || st.Decoded() != 96+10 {
+		t.Fatalf("final Pos %d / Decoded %d, want 96 / 106", st.Pos(), st.Decoded())
+	}
+}
+
+// Restart is a tick-boundary operation: a deferred stream with uncommitted
+// accesses must refuse it, exactly like Release.
+func TestStreamRestartPanicsOnUncommittedAccesses(t *testing.T) {
+	trained(t)
+	cfg := SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU}
+	plan, err := hwsim.NewPlan(zoo.m, cfg.Device, hwsim.PlanOpts{
+		Groups: hwsim.ProbeGroups(sparsity.NewDIP(0.5), zoo.m),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamWith(zoo.m, sparsity.NewDIP(0.5), zoo.test[:32], cfg, StreamOpts{
+		Plan: plan, Cache: plan.NewCache(cfg.Policy), Deferred: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Step() {
+		t.Fatal("first Step failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restart on an uncommitted deferred stream must panic")
+		}
+	}()
+	st.Restart()
+}

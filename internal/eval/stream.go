@@ -81,11 +81,12 @@ type Stream struct {
 	hook  model.MLPHook
 	dec   *model.Decoder
 
-	pos    int // tokens consumed
-	winPos int // position within the current window
-	winCE  float64
-	ce     float64
-	preds  int
+	pos     int // tokens consumed
+	decoded int // tokens ever stepped, including work a Restart discarded
+	winPos  int // position within the current window
+	winCE   float64
+	ce      float64
+	preds   int
 
 	hits, misses int64 // this stream's cache traffic (mc may be shared)
 
@@ -237,6 +238,7 @@ func (st *Stream) Step() bool {
 	}
 	logits := st.dec.Step(st.tokens[st.pos])
 	st.pos++
+	st.decoded++
 	st.winPos++
 	if st.winPos < st.win {
 		// This position predicts the next token of the same window; the
@@ -298,11 +300,36 @@ func (st *Stream) Regrant(mc *cache.ModelCache) {
 	st.mc = mc
 }
 
+// Restart rewinds the stream to token 0 for a from-scratch re-prefill after
+// a destructive fault (a revoked cache grant takes the decode state built on
+// it down too): position, window state, CE sums, and the density accumulator
+// reset, and the decoder's KV state drops at the next Step. The meter,
+// cumulative traffic counters, and the Decoded total are retained — the
+// discarded prefix still cost simulated time and bytes, which is exactly the
+// throughput-vs-goodput gap chaos reports measure. After a restarted stream
+// drains, its CE, perplexity, and density equal a fresh run's (bit-identical
+// for cache-independent schemes). Restart is a tick-boundary operation —
+// restarting with uncommitted deferred accesses panics.
+func (st *Stream) Restart() {
+	if st.dirty {
+		panic("eval: Restart on a Stream with uncommitted accesses")
+	}
+	st.pos, st.winPos = 0, 0
+	st.winCE, st.ce = 0, 0
+	st.preds = 0
+	st.acc = NewDensityAccumulator(st.m)
+}
+
 // Done reports whether every token has been consumed.
 func (st *Stream) Done() bool { return st.pos >= st.total }
 
-// Pos returns the number of tokens consumed so far.
+// Pos returns the number of tokens consumed so far (Restart resets it).
 func (st *Stream) Pos() int { return st.pos }
+
+// Decoded returns the cumulative number of tokens ever stepped, including
+// work discarded by Restart — the stream's throughput denominator, as
+// opposed to Pos, which only counts the surviving prefix.
+func (st *Stream) Decoded() int { return st.decoded }
 
 // TotalTokens returns the number of tokens the stream will consume.
 func (st *Stream) TotalTokens() int { return st.total }

@@ -284,8 +284,8 @@ func TestFig9Composes(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(IDs()) != 19 {
-		t.Fatalf("expected 19 experiments, got %d: %v", len(IDs()), IDs())
+	if len(IDs()) != 20 {
+		t.Fatalf("expected 20 experiments, got %d: %v", len(IDs()), IDs())
 	}
 	if _, err := Run(sharedLab, "nope"); err == nil {
 		t.Fatal("unknown id should error")
@@ -295,7 +295,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 	sharedLab.ServeSmoke = true
 	defer func() { sharedLab.ServeSmoke = false }()
 	// Smoke-run the cheap drivers not covered above through the registry.
-	for _, id := range []string{"tab5", "tab6", "tab7", "fig8", "fig14", "tab3", "tab4", "abl-alloc", "serve"} {
+	for _, id := range []string{"tab5", "tab6", "tab7", "fig8", "fig14", "tab3", "tab4", "abl-alloc", "serve", "chaos"} {
 		tables, err := Run(sharedLab, id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

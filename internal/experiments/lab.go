@@ -72,6 +72,19 @@ type Lab struct {
 	// asserts their simulated reports are bit-identical, and records both
 	// wall throughputs.
 	ServeFuse string
+	// ServeFaults enables seeded fault injection in the serve and chaos
+	// scenarios (dipbench -faults): the overall transient-fault rate of the
+	// faults.Mix plan, in [0, 1]. Zero disables injection in serve and keeps
+	// the chaos grid's default rate sweep.
+	ServeFaults float64
+	// ServeRetry overrides the per-request retry budget under fault
+	// injection (dipbench -retry: total attempts; 0 = the engine default 3,
+	// 1 = no recovery).
+	ServeRetry int
+	// ServeShed sets the admission-control queue budget under fault
+	// injection (dipbench -shed; 0 = no shedding). A positive budget also
+	// enables graceful degradation of queued best-effort work.
+	ServeShed int
 
 	tok    *data.Tokenizer
 	splits data.Splits

@@ -26,6 +26,7 @@ var registry = map[string]Driver{
 	"tab7":      Table7,
 	"abl-alloc": AblAlloc,
 	"serve":     Serve,
+	"chaos":     Chaos,
 }
 
 // IDs lists the registered experiment ids in sorted order.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hwsim"
 	"repro/internal/model"
 	"repro/internal/serving"
+	"repro/internal/serving/faults"
 	"repro/internal/sparsity"
 )
 
@@ -192,8 +193,8 @@ func Serve(l *Lab) ([]*Table, error) {
 		return nil, fmt.Errorf("serve: unknown -fuse mode %q (on|off|both)", fuse)
 	}
 	cols := []string{"workload", "sched", "preempt", "policy", "sessions", "slots",
-		"sim_tok_s", "hit_rate", "mean_ppl", "p50_lat_ms", "p99_lat_ms",
-		"queue_p50_t", "turn_p99_t", "slo_attain", "preempts", "fused", "wall_tok_s"}
+		"sim_tok_s", "goodput", "hit_rate", "mean_ppl", "p50_lat_ms", "p99_lat_ms",
+		"queue_p50_t", "turn_p99_t", "slo_attain", "preempts", "retries", "shed", "fused", "wall_tok_s"}
 	if fuse == "both" {
 		cols = append(cols, "wall_unfused_tok_s")
 	}
@@ -205,6 +206,17 @@ func Serve(l *Lab) ([]*Table, error) {
 	// Wall-throughput aggregates for the fuse-comparison summary table.
 	var fusedTokens, unfusedTokens int
 	var fusedSeconds, unfusedSeconds float64
+	// -faults threads the seeded chaos plan through every grid cell; the
+	// cells stay bit-identical for a fixed seed because fault draws are pure
+	// functions of (seed, tick, slot).
+	var plan faults.Injector
+	if l.ServeFaults > 0 {
+		p, err := faults.Mix(l.ServeFaults, l.ServeSeed+2)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
 	runCell := func(kind string, sched serving.Scheduler, pre serving.Preemptor, arb serving.ArbPolicy, noFuse bool) (*serving.Report, error) {
 		w, err := newWorkload(kind)
 		if err != nil {
@@ -213,6 +225,8 @@ func Serve(l *Lab) ([]*Table, error) {
 		e, err := serving.NewEngine(m, serving.Config{
 			System: sys, Arb: arb, Sched: sched, Preempt: pre,
 			MaxActive: slots, Quantum: quantum, Seed: l.ServeSeed, NoFuse: noFuse,
+			Faults: plan, Retry: faults.RetryPolicy{MaxAttempts: l.ServeRetry},
+			ShedQueueBudget: l.ServeShed, Degrade: l.ServeShed > 0,
 		}, w)
 		if err != nil {
 			return nil, err
@@ -249,14 +263,21 @@ func Serve(l *Lab) ([]*Table, error) {
 						unfusedSeconds += uw.Seconds
 					}
 					var ppl float64
+					ok := 0
 					for _, sm := range rep.Sessions {
-						ppl += sm.Point.PPL
+						if sm.Outcome == serving.OutcomeOK {
+							ppl += sm.Point.PPL
+							ok++
+						}
 					}
-					ppl /= float64(len(rep.Sessions))
+					if ok > 0 {
+						ppl /= float64(ok)
+					}
 					row := []any{kind, sched.Name(), pre.Name(), arb.String(), len(rep.Sessions), slots,
-						rep.SimTokS, rep.HitRate, ppl,
+						rep.SimTokS, rep.Goodput, rep.HitRate, ppl,
 						rep.SimLatencyP50 * 1e3, rep.SimLatencyP99 * 1e3,
-						rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, rep.Preemptions, fuse, rep.Wall.TokS}
+						rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, rep.Preemptions,
+						rep.Retries, rep.Shed, fuse, rep.Wall.TokS}
 					if fuse == "both" {
 						row = append(row, unfusedWall.TokS)
 					}
@@ -279,6 +300,7 @@ func Serve(l *Lab) ([]*Table, error) {
 	out.Notes = append(out.Notes,
 		"preempt=deadline suspends the loosest-deadline running session when a queued entry's deadline is strictly earlier (stream state kept, resumed later); preempts counts mid-run suspensions",
 		"fair partitions the cache budget across slots; shared is one contended cache with slot-order commits",
+		"goodput counts only tokens of sessions that completed OK (retried prefixes, failed, cancelled, and shed work excluded); without -faults it equals sim_tok_s",
 		"wall_tok_s is the host annotation (sessions fan out over the worker pool); it varies run to run",
 		"fused=on decodes the batch through the multi-RHS kernels (one weight walk per tick); -fuse off|both selects the per-session path or both",
 	)

@@ -1,0 +1,576 @@
+package serving
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/parallel"
+	"repro/internal/serving/faults"
+	"repro/internal/sparsity"
+)
+
+// The acceptance test for transient-fault recovery: under ArbExclusive a
+// session's private cache survives a step fault, so the faulted-then-retried
+// session must be bit-identical to an uninterrupted solo run — DIP-CA is the
+// hard case, its masks read the cache every token.
+func TestStepFaultRetryExclusiveMatchesSoloBitForBit(t *testing.T) {
+	trained(t)
+	script, err := faults.Scripted(faults.Event{Tick: 2, Kind: faults.Step, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := requests(t, 1,
+		func(int) sparsity.Scheme { return sparsity.NewDIPCA(0.5, 0.2) },
+		func(int) int { return 4 }) // 128 tokens
+	e, err := NewEngine(zoo.m, Config{
+		System: sysCfg(), Arb: ArbExclusive, MaxActive: 1, Quantum: 8, Seed: 1,
+		Faults: script,
+	}, FixedBatch(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StepFaults != 1 || rep.Retries != 1 || rep.Injector != "scripted" {
+		t.Fatalf("fault accounting wrong: %+v", rep)
+	}
+	if rep.MeanRecoverTicks <= 0 {
+		t.Fatalf("no time-to-recover recorded: %+v", rep)
+	}
+	sm := rep.Sessions[0]
+	if sm.Outcome != OutcomeOK || sm.Faults != 1 || sm.Retries != 1 || sm.RecoverTicks <= 0 {
+		t.Fatalf("session fault accounting wrong: %+v", sm)
+	}
+	solo, err := eval.SystemEvaluate(zoo.m, sparsity.NewDIPCA(0.5, 0.2), reqs[0].Tokens, sysCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pointsEqual(sm.Point, solo) {
+		t.Fatalf("faulted-and-retried session diverged from uninterrupted solo run:\nserved %+v\nsolo   %+v", sm.Point, solo)
+	}
+	// A transient fault wastes no decode work: the stream resumed in place.
+	if sm.Tokens != 128 || sm.Decoded != 128 || rep.GoodTokens != 128 {
+		t.Fatalf("transient fault discarded work: %+v", sm)
+	}
+	if rep.Goodput != rep.SimTokS {
+		t.Fatalf("goodput %v != throughput %v despite zero waste", rep.Goodput, rep.SimTokS)
+	}
+}
+
+// A revocation is destructive: the grant and the decode state built on it
+// are torn down, and the session re-prefills from scratch. With a
+// cache-independent scheme (plain DIP) the rerun's quality metrics are still
+// bit-identical to a solo run, while the discarded prefix shows up in
+// Decoded and as the throughput−goodput gap.
+func TestRevocationRestartsFromScratch(t *testing.T) {
+	trained(t)
+	script, err := faults.Scripted(faults.Event{Tick: 2, Kind: faults.Revoke, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := requests(t, 1,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 2 }) // 64 tokens
+	e, err := NewEngine(zoo.m, Config{
+		System: sysCfg(), Arb: ArbExclusive, MaxActive: 1, Quantum: 8, Seed: 1,
+		Faults: script,
+	}, FixedBatch(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Revocations != 1 || rep.Retries != 1 {
+		t.Fatalf("revocation accounting wrong: %+v", rep)
+	}
+	sm := rep.Sessions[0]
+	// Two full ticks of quantum 8 ran before the revocation discarded them.
+	if sm.Tokens != 64 || sm.Decoded != 64+16 {
+		t.Fatalf("restart bookkeeping wrong: Tokens %d Decoded %d, want 64 / 80", sm.Tokens, sm.Decoded)
+	}
+	solo, err := eval.SystemEvaluate(zoo.m, sparsity.NewDIP(0.5), reqs[0].Tokens, sysCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Point.PPL != solo.PPL || sm.Point.Density != solo.Density {
+		t.Fatalf("re-prefilled run's quality diverged from solo:\nserved %+v\nsolo   %+v", sm.Point, solo)
+	}
+	if rep.GoodTokens != 64 || rep.Goodput >= rep.SimTokS {
+		t.Fatalf("wasted work not priced: good %d, goodput %v, throughput %v",
+			rep.GoodTokens, rep.Goodput, rep.SimTokS)
+	}
+}
+
+// Cancellations remove the session outright (no retry, excluded from
+// attainment); an exhausted retry budget fails the session (a deadlined
+// failure is an SLO miss). Both must keep the engine draining and both are
+// excluded from the completed-session turnaround percentiles.
+func TestCancelAndFailOutcomes(t *testing.T) {
+	trained(t)
+	script, err := faults.Scripted(
+		faults.Event{Tick: 1, Kind: faults.Cancel, Slot: 0},
+		faults.Event{Tick: 1, Kind: faults.Step, Slot: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := requests(t, 2,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 2 })
+	for i := range reqs {
+		reqs[i].SLO = SLO{Class: "interactive", DeadlineTicks: 50}
+	}
+	e, err := NewEngine(zoo.m, Config{
+		System: sysCfg(), Arb: ArbFairShare, MaxActive: 2, Quantum: 8, Seed: 3,
+		Faults: script, Retry: faults.RetryPolicy{MaxAttempts: 1},
+	}, FixedBatch(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cancellations != 1 || rep.Failed != 1 || rep.Retries != 0 {
+		t.Fatalf("outcome accounting wrong: %+v", rep)
+	}
+	got := map[Outcome]int{}
+	for _, sm := range rep.Sessions {
+		got[sm.Outcome]++
+		if sm.Attained {
+			t.Fatalf("terminated session reported attained: %+v", sm)
+		}
+		if sm.Tokens >= len(reqs[sm.Index].Tokens) {
+			t.Fatalf("terminated session decoded its whole stream: %+v", sm)
+		}
+	}
+	if got[OutcomeCancelled] != 1 || got[OutcomeFailed] != 1 {
+		t.Fatalf("outcomes %v, want one cancelled and one failed", got)
+	}
+	// Attainment: the failure is a deadlined miss; the cancellation is
+	// excluded, not counted as a miss.
+	if rep.SLOAttainRate != 0 {
+		t.Fatalf("attain rate %v, want 0 (one deadlined miss)", rep.SLOAttainRate)
+	}
+	var deadlined int
+	for _, cm := range rep.Classes {
+		deadlined += cm.Deadlined
+	}
+	if deadlined != 1 {
+		t.Fatalf("deadlined count %d, want 1 (cancelled excluded)", deadlined)
+	}
+	if rep.TurnaroundP50 != 0 {
+		t.Fatalf("turnaround percentiles include terminated sessions: %v", rep.TurnaroundP50)
+	}
+}
+
+// A capacity dip parks the tail slots' sessions without consuming retry
+// attempts; they resume when capacity returns and still complete.
+func TestCapacityDipParksAndResumes(t *testing.T) {
+	trained(t)
+	script, err := faults.Scripted(faults.Event{Tick: 1, Kind: faults.Dip, Slots: 1, Ticks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := requests(t, 2,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 2 })
+	e, err := NewEngine(zoo.m, Config{
+		System: sysCfg(), Arb: ArbFairShare, MaxActive: 2, Quantum: 8, Seed: 2,
+		Faults: script,
+	}, FixedBatch(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DipSlotTicks != 2 {
+		t.Fatalf("DipSlotTicks %d, want 2 (one slot for two ticks)", rep.DipSlotTicks)
+	}
+	if rep.Retries != 0 || rep.Preemptions != 0 || rep.Failed != 0 {
+		t.Fatalf("a dip must not consume retries or count as preemption: %+v", rep)
+	}
+	parked := 0
+	for _, sm := range rep.Sessions {
+		if sm.Outcome != OutcomeOK || sm.Tokens != 64 {
+			t.Fatalf("session did not complete across the dip: %+v", sm)
+		}
+		if sm.ResumeDelayTicks > 0 {
+			parked++
+		}
+	}
+	if parked != 1 {
+		t.Fatalf("%d sessions parked, want exactly the displaced tail slot", parked)
+	}
+}
+
+// The determinism acceptance test for chaos runs: with a fixed fault seed,
+// the full report — faults injected, retries, sheds, outcomes, every session
+// metric — must be bit-identical across worker counts and fused/unfused
+// decode paths, for every arbitration policy. Run under -race this also
+// proves fault-driven batch recomposition never races the decode phases.
+func TestChaosDeterministicAcrossWorkerCountsAndFuse(t *testing.T) {
+	trained(t)
+	defer parallel.SetProcs(parallel.Procs())
+	plan, err := faults.Mix(0.08, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(arb ArbPolicy, noFuse bool) *Report {
+		e, err := NewEngine(zoo.m, Config{
+			System: sysCfg(), Arb: arb, Sched: EDF(), Preempt: DeadlinePreempt(),
+			MaxActive: 2, Quantum: 4, Seed: 5, NoFuse: noFuse,
+			Faults: plan, Retry: faults.RetryPolicy{MaxAttempts: 3},
+			ShedQueueBudget: 3, Degrade: true, DegradeTicks: 2,
+		}, mixedPressureTrace(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	injected := false
+	for _, arb := range Policies() {
+		parallel.SetProcs(4)
+		fused := stripWall(run(arb, false))
+		unfused := stripWall(run(arb, true))
+		if !reflect.DeepEqual(fused, unfused) {
+			t.Fatalf("arb=%v: chaos reports diverged between fused and per-session paths:\nfused   %+v\nunfused %+v",
+				arb, fused, unfused)
+		}
+		parallel.SetProcs(1)
+		serial := stripWall(run(arb, false))
+		if !reflect.DeepEqual(fused, serial) {
+			t.Fatalf("arb=%v: chaos report depends on worker count", arb)
+		}
+		injected = injected || fused.StepFaults+fused.Revocations+fused.Cancellations+fused.DipSlotTicks > 0
+	}
+	if !injected {
+		t.Fatal("scenario broken: the seeded plan injected nothing anywhere")
+	}
+}
+
+// Admission-control shedding and graceful degradation: arrivals beyond the
+// queue budget are rejected at the door (shed tick = arrival tick), and
+// under sustained pressure the degrade pass sheds queued best-effort
+// backlog (shed tick > arrival tick) instead of letting it rot.
+func TestAdmissionShedAndDegrade(t *testing.T) {
+	trained(t)
+	entries := []TraceEntry{
+		{ID: "hog", Tick: 0, Tokens: 192, Start: 0, Class: "batch"},
+		{ID: "q1", Tick: 1, Tokens: 32, Start: 512, Class: "batch"},
+		{ID: "q2", Tick: 2, Tokens: 32, Start: 768, Class: "batch"},
+		{ID: "q3", Tick: 3, Tokens: 32, Start: 1024, Class: "batch"},
+		{ID: "q4", Tick: 4, Tokens: 32, Start: 1280, Class: "batch"},
+	}
+	w, err := TraceWorkload(entries, testBinder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(zoo.m, Config{
+		System: sysCfg(), Arb: ArbExclusive, MaxActive: 1, Quantum: 8, Seed: 1,
+		ShedQueueBudget: 2, Degrade: true, DegradeTicks: 2,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("nothing shed: %+v", rep)
+	}
+	atDoor, degraded := 0, 0
+	for _, sm := range rep.Sessions {
+		if sm.Outcome != OutcomeShed {
+			continue
+		}
+		if sm.Tokens != 0 || sm.Decoded != 0 {
+			t.Fatalf("shed session decoded tokens: %+v", sm)
+		}
+		if sm.FinishTick == sm.ArriveTick {
+			atDoor++
+		} else {
+			degraded++
+		}
+	}
+	if atDoor == 0 || degraded == 0 {
+		t.Fatalf("want both shed kinds, got %d at admission and %d degraded (shed %d)", atDoor, degraded, rep.Shed)
+	}
+	if atDoor+degraded != rep.Shed {
+		t.Fatalf("shed rows %d+%d do not match Shed %d", atDoor, degraded, rep.Shed)
+	}
+}
+
+// Shedding must notify the workload like a completion, or a closed-loop
+// user whose request was shed would never issue their next one and the
+// engine would stall.
+func TestShedNotifiesClosedLoopWorkload(t *testing.T) {
+	trained(t)
+	scripts := [][]Request{
+		{{ID: "u0r0", Scheme: sparsity.NewDIP(0.5), Tokens: streamFor(t, 0, 2)}},
+		{
+			{ID: "u1r0", Scheme: sparsity.NewDIP(0.5), Tokens: streamFor(t, 1, 1)},
+			{ID: "u1r1", Scheme: sparsity.NewDIP(0.5), Tokens: streamFor(t, 2, 1)},
+		},
+	}
+	w, err := ClosedLoop(scripts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(zoo.m, Config{
+		System: sysCfg(), Arb: ArbExclusive, MaxActive: 1, Quantum: 8, Seed: 1,
+		ShedQueueBudget: 1,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("scenario broken: nothing shed: %+v", rep)
+	}
+	byID := map[string]SessionMetrics{}
+	for _, sm := range rep.Sessions {
+		byID[sm.ID] = sm
+	}
+	if len(rep.Sessions) != 3 {
+		t.Fatalf("%d sessions reported, want all 3 (shed included): %+v", len(rep.Sessions), rep.Sessions)
+	}
+	// u1's follow-up must have been issued even though u1r0 was shed.
+	if _, ok := byID["u1r1"]; !ok {
+		t.Fatalf("closed-loop user stalled after shed: %+v", rep.Sessions)
+	}
+}
+
+// The recovery acceptance test: on a seeded Poisson chaos trace, retry +
+// shedding must strictly beat the no-recovery baseline's SLO attainment,
+// with positive goodput and at least one granted retry.
+func TestRetryAndSheddingBeatNoRecoveryBaseline(t *testing.T) {
+	trained(t)
+	plan, err := faults.Mix(0.06, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(retry faults.RetryPolicy, shed int) *Report {
+		reqs := make([]Request, 8)
+		for i := range reqs {
+			if i%2 == 0 {
+				reqs[i] = Request{
+					ID: string(rune('a' + i)), Scheme: sparsity.NewDIP(0.5),
+					Tokens: streamFor(t, i, 1),
+					SLO:    SLO{Class: "interactive", Priority: 2, DeadlineTicks: 24},
+				}
+			} else {
+				reqs[i] = Request{
+					ID: string(rune('a' + i)), Scheme: sparsity.NewDIP(0.5),
+					Tokens: streamFor(t, i, 2),
+					SLO:    SLO{Class: "batch"},
+				}
+			}
+		}
+		w, err := PoissonArrivals(reqs, 0.25, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(zoo.m, Config{
+			System: sysCfg(), Arb: ArbFairShare, Sched: EDF(), Preempt: DeadlinePreempt(),
+			MaxActive: 2, Quantum: 8, Seed: 2,
+			Faults: plan, Retry: retry, ShedQueueBudget: shed, Degrade: shed > 0,
+		}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(faults.RetryPolicy{MaxAttempts: 1}, 0)
+	rec := run(faults.RetryPolicy{MaxAttempts: 3}, 6)
+	if base.Failed == 0 {
+		t.Fatalf("scenario broken: no session failed without recovery: %+v", base)
+	}
+	if rec.Retries == 0 {
+		t.Fatalf("recovery run granted no retries: %+v", rec)
+	}
+	if rec.Goodput <= 0 {
+		t.Fatalf("recovery run has no goodput: %+v", rec)
+	}
+	if rec.SLOAttainRate <= base.SLOAttainRate {
+		t.Fatalf("retry+shedding did not strictly beat the no-recovery baseline: %v vs %v",
+			rec.SLOAttainRate, base.SLOAttainRate)
+	}
+}
+
+// Satellite: the resume spec beyond ArbExclusive. Under fair-share and
+// greedy arbitration a suspended session's partition is released, so the
+// resumed run re-fills a cold cache at a fresh grant: with a
+// cache-independent scheme the quality metrics stay bit-identical to an
+// uninterrupted run, while the cache hit rate strictly drops — the
+// documented re-prefill cost fault-triggered restarts inherit.
+func TestSuspendResumeSpecUnderFairAndGreedy(t *testing.T) {
+	trained(t)
+	for _, arb := range []ArbPolicy{ArbFairShare, ArbGreedy} {
+		run := func(pre Preemptor) *Report {
+			e, err := NewEngine(zoo.m, Config{
+				System: sysCfg(), Arb: arb, Sched: EDF(), Preempt: pre,
+				MaxActive: 1, Quantum: 8, Seed: 3,
+			}, preemptTrace(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		base := run(NoPreempt())
+		pre := run(DeadlinePreempt())
+		if pre.Preemptions == 0 {
+			t.Fatalf("arb=%v: scenario broken, no preemption", arb)
+		}
+		again := run(DeadlinePreempt())
+		if !reflect.DeepEqual(stripWall(pre), stripWall(again)) {
+			t.Fatalf("arb=%v: suspend/resume run not reproducible", arb)
+		}
+		sess := func(r *Report, id string) SessionMetrics {
+			for _, sm := range r.Sessions {
+				if sm.ID == id {
+					return sm
+				}
+			}
+			t.Fatalf("no session %q in %+v", id, r.Sessions)
+			return SessionMetrics{}
+		}
+		bgPre, bgBase := sess(pre, "bg"), sess(base, "bg")
+		if bgPre.Preemptions == 0 {
+			t.Fatalf("arb=%v: bg was not the victim: %+v", arb, bgPre)
+		}
+		// With one slot, both policies grant the full budget, so the
+		// uninterrupted baseline is the within-policy reference. Quality is
+		// untouched by the cold resume; the hit rate strictly pays for it.
+		if bgPre.Point.PPL != bgBase.Point.PPL || bgPre.Point.Density != bgBase.Point.Density {
+			t.Fatalf("arb=%v: resume changed decode quality:\npre  %+v\nbase %+v", arb, bgPre.Point, bgBase.Point)
+		}
+		if bgPre.Point.HitRate >= bgBase.Point.HitRate {
+			t.Fatalf("arb=%v: cold resume did not cost hit rate: %v vs %v",
+				arb, bgPre.Point.HitRate, bgBase.Point.HitRate)
+		}
+		if bgPre.Tokens != 128 || bgPre.Outcome != OutcomeOK {
+			t.Fatalf("arb=%v: victim did not complete: %+v", arb, bgPre)
+		}
+		// The re-granted share is the policy's current one (full budget at
+		// one slot for both fair-share and greedy).
+		if bgPre.Share != 1 {
+			t.Fatalf("arb=%v: resume share %v, want the policy's full single-slot grant", arb, bgPre.Share)
+		}
+	}
+}
+
+// Satellite: Config and workload-constructor validation — zero/negative
+// parameters must come back as named errors, not silent defaults (zero
+// keeps its documented default where one exists).
+func TestConfigValidationNamedErrors(t *testing.T) {
+	trained(t)
+	good := requests(t, 1,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 1 })
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative MaxActive", func(c *Config) { c.MaxActive = -1 }, "MaxActive"},
+		{"negative Quantum", func(c *Config) { c.Quantum = -8 }, "Quantum"},
+		{"negative shed budget", func(c *Config) { c.ShedQueueBudget = -2 }, "ShedQueueBudget"},
+		{"degrade without budget", func(c *Config) { c.Degrade = true }, "Degrade"},
+		{"negative degrade window", func(c *Config) { c.ShedQueueBudget = 2; c.Degrade = true; c.DegradeTicks = -1 }, "DegradeTicks"},
+		{"negative retry attempts", func(c *Config) { c.Retry.MaxAttempts = -1 }, "MaxAttempts"},
+		{"negative retry backoff", func(c *Config) { c.Retry.BackoffBase = -1 }, "BackoffBase"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{System: sysCfg()}
+			tc.mut(&cfg)
+			_, err := NewEngine(zoo.m, cfg, FixedBatch(good))
+			if err == nil || !containsStr(err.Error(), tc.want) {
+				t.Fatalf("error %v does not name %q", err, tc.want)
+			}
+		})
+	}
+	// Zero MaxActive/Quantum keep their documented defaults.
+	e, err := NewEngine(zoo.m, Config{System: sysCfg()}, FixedBatch(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.MaxActive != 4 || e.cfg.Quantum != 8 {
+		t.Fatalf("zero-value defaults changed: MaxActive %d Quantum %d", e.cfg.MaxActive, e.cfg.Quantum)
+	}
+}
+
+// Satellite: workload constructors reject nonsense parameters with named
+// errors.
+func TestWorkloadConstructorValidation(t *testing.T) {
+	trained(t)
+	good := requests(t, 1,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 1 })
+	t.Run("poisson", func(t *testing.T) {
+		for _, rate := range []float64{0, -0.5, inf(), -inf(), nanF()} {
+			if _, err := PoissonArrivals(good, rate, 1); err == nil || !containsStr(err.Error(), "rate") {
+				t.Fatalf("rate %v: error %v does not name the rate", rate, err)
+			}
+		}
+		if _, err := PoissonArrivals(nil, 0.5, 1); err == nil || !containsStr(err.Error(), "request") {
+			t.Fatalf("empty universe: %v", err)
+		}
+		if _, err := PoissonArrivals(good, 0.5, 1); err != nil {
+			t.Fatalf("valid poisson rejected: %v", err)
+		}
+	})
+	t.Run("closed", func(t *testing.T) {
+		if _, err := ClosedLoop([][]Request{good}, -1); err == nil || !containsStr(err.Error(), "think") {
+			t.Fatal("negative think time must be a named error")
+		}
+		if _, err := ClosedLoop(nil, 1); err == nil || !containsStr(err.Error(), "request") {
+			t.Fatal("empty closed-loop universe must be a named error")
+		}
+	})
+	t.Run("trace", func(t *testing.T) {
+		if _, err := TraceWorkload(nil, testBinder(t)); err == nil {
+			t.Fatal("empty trace must be rejected")
+		}
+		if _, err := TraceWorkload([]TraceEntry{{ID: "x", Tokens: 0}}, testBinder(t)); err == nil {
+			t.Fatal("zero-token trace entry must be rejected")
+		}
+	})
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func inf() float64  { return math.Inf(1) }
+func nanF() float64 { return math.NaN() }

@@ -12,14 +12,18 @@ import (
 // Run drains the workload to completion under continuous batching and
 // returns the aggregate report. Each tick the engine (1) collects the
 // workload's arrivals, shuffling same-tick groups with the seeded RNG and
-// queueing them, (2) fills free batch slots with the scheduler's picks —
-// resuming suspended sessions exactly like fresh entries — (3) lets the
-// preemptor displace running sessions that queued entries strictly
-// outrank, (4) advances every active session by the token quantum, and
-// (5) retires drained sessions, reporting them back to the workload
-// (closed-loop feedback). Everything runs on the simulated tick clock, so
-// reports are bit-identical across runs and worker counts; only the Wall
-// annotation varies.
+// queueing them — shedding arrivals beyond the admission budget and, under
+// sustained pressure with Degrade set, queued optional work — (2) applies
+// the fault plan to the running batch in slot order and parks sessions
+// displaced by a capacity dip, (3) fills free batch slots with the
+// scheduler's picks among entries not still backing off — resuming
+// suspended sessions exactly like fresh entries — (4) lets the preemptor
+// displace running sessions that queued entries strictly outrank, (5)
+// advances every active session by the token quantum, and (6) retires
+// drained sessions, reporting them back to the workload (closed-loop
+// feedback). Everything runs on the simulated tick clock, so reports are
+// bit-identical across runs and worker counts; only the Wall annotation
+// varies.
 func (e *Engine) Run() (*Report, error) {
 	if e.ran {
 		return nil, fmt.Errorf("serving: engine already ran")
@@ -51,18 +55,99 @@ func (e *Engine) Run() (*Report, error) {
 				return nil, fmt.Errorf("serving: workload %q yielded request %d (%q) twice", e.w.Name(), idx, e.reqs[idx].ID)
 			}
 			e.arrived[idx] = true
+			if e.cfg.ShedQueueBudget > 0 && len(queue) >= e.cfg.ShedQueueBudget {
+				// Admission control: the queue is at budget, so the arrival
+				// is shed outright — it never holds a slot, never decodes,
+				// and reports back to the workload as finished next tick.
+				e.shedArrive[idx], e.shedTick[idx] = tick, tick
+				e.shedCount++
+				finished = append(finished, Finished{Index: idx, ID: e.reqs[idx].ID, Tick: tick})
+				continue
+			}
 			queue = append(queue, &QueueEntry{
 				Req: e.reqs[idx], Index: idx, ArriveTick: tick, Order: order,
 				Deadline: deadlineOf(tick, e.reqs[idx].SLO),
 			})
 			order++
 		}
-		for len(active) < e.cfg.MaxActive && len(queue) > 0 {
-			best := 0
-			for i := 1; i < len(queue); i++ {
-				if e.sched.Less(queue[i], queue[best]) {
+		if e.cfg.Degrade {
+			if len(queue) >= e.cfg.ShedQueueBudget {
+				e.pressure++
+			} else {
+				e.pressure = 0
+			}
+			if e.pressure >= e.cfg.DegradeTicks {
+				queue = e.degrade(queue, tick, &finished)
+			}
+		}
+		// Fault application, in slot order on the batch as of tick start, so
+		// decisions are pure functions of (seed, tick, slot) and the chaos
+		// schedule commutes with worker count and decode-path choice.
+		offline := 0
+		if e.cfg.Faults != nil {
+			if offline = e.cfg.Faults.Offline(tick); offline < 0 {
+				offline = 0
+			}
+			if offline > e.cfg.MaxActive {
+				offline = e.cfg.MaxActive
+			}
+			if offline > 0 && (len(active) > 0 || len(queue) > 0) {
+				e.dipSlotTicks += offline
+			}
+			live := active[:0]
+			for slot, s := range active {
+				switch {
+				case e.cfg.Faults.Cancel(tick, slot):
+					e.cancels++
+					e.finish(s, tick, OutcomeCancelled)
+					finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
+				case e.cfg.Faults.Revoke(tick, slot) && e.cfg.Arb != ArbShared:
+					// An eviction storm takes the session's grant (or greedy
+					// claim) and the decode state built on it; under ArbShared
+					// there is no per-session grant to revoke.
+					e.revokes++
+					if qe := e.faultSuspend(s, tick, true); qe != nil {
+						queue = append(queue, qe)
+					} else {
+						e.failed++
+						e.finish(s, tick, OutcomeFailed)
+						finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
+					}
+				case e.cfg.Faults.StepFault(tick, slot):
+					e.stepFaults++
+					if qe := e.faultSuspend(s, tick, false); qe != nil {
+						queue = append(queue, qe)
+					} else {
+						e.failed++
+						e.finish(s, tick, OutcomeFailed)
+						finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
+					}
+				default:
+					live = append(live, s)
+				}
+			}
+			active = live
+			// A capacity dip takes the highest-numbered slots offline;
+			// displaced sessions park (stream retained) until capacity
+			// returns or another slot frees.
+			for len(active) > e.cfg.MaxActive-offline {
+				last := active[len(active)-1]
+				queue = append(queue, e.dipSuspend(last, tick))
+				active = active[:len(active)-1]
+			}
+		}
+		for len(active) < e.cfg.MaxActive-offline {
+			best := -1
+			for i := range queue {
+				if queue[i].NotBefore > tick {
+					continue // still backing off after a fault
+				}
+				if best < 0 || e.sched.Less(queue[i], queue[best]) {
 					best = i
 				}
+			}
+			if best < 0 {
+				break
 			}
 			qe := queue[best]
 			queue = append(queue[:best], queue[best+1:]...)
@@ -79,14 +164,19 @@ func (e *Engine) Run() (*Report, error) {
 		// those able to preempt; the loop re-scans because a suspended
 		// session re-enters the queue and may itself outrank a third
 		// session. Strict preemptors guarantee termination: every takeover
-		// strictly lowers the displaced slot's pressure rank.
-		for len(queue) > 0 {
+		// strictly lowers the displaced slot's pressure rank. Entries still
+		// backing off cannot preempt — their backoff gates placement however
+		// the slot would be obtained.
+		for len(queue) > 0 && len(active) > 0 {
 			slot := e.pre.Victim(active)
 			if slot < 0 {
 				break
 			}
 			qi := -1
 			for i, qe := range queue {
+				if qe.NotBefore > tick {
+					continue
+				}
 				if e.pre.Outranks(qe, active[slot]) && (qi < 0 || e.sched.Less(queue[i], queue[qi])) {
 					qi = i
 				}
@@ -104,14 +194,38 @@ func (e *Engine) Run() (*Report, error) {
 			active[slot] = sess
 		}
 		if len(active) == 0 {
-			// Nothing to decode: an arrival gap in an open-loop trace or a
-			// closed-loop think pause. Fast-forward the simulated clock to
-			// the next scheduled arrival — no spinning through sparse gaps.
+			// Nothing to decode: an arrival gap, a closed-loop think pause,
+			// every queued session backing off after a fault, or a full
+			// capacity dip. Fast-forward the simulated clock to the earliest
+			// event that can change that — no spinning through sparse gaps.
 			next, ok := e.w.NextArrival()
-			if !ok || next <= tick {
-				// Nothing scheduled (or scheduled in the past yet not
-				// yielded): with an empty batch no completion can ever
-				// unblock the workload, so this is a stall, not a gap.
+			if ok && next <= tick {
+				ok = false // scheduled in the past yet not yielded: no help
+			}
+			for _, qe := range queue {
+				switch {
+				case qe.NotBefore > tick:
+					if !ok || qe.NotBefore < next {
+						next, ok = qe.NotBefore, true
+					}
+				default:
+					// Eligible but unplaced: only a dip can cause that; step
+					// one tick and re-check capacity.
+					if !ok || tick+1 < next {
+						next, ok = tick+1, true
+					}
+				}
+			}
+			if len(finished) > 0 && (!ok || tick+1 < next) {
+				// Terminations (cancel, retry exhaustion, shedding) this tick
+				// have not been reported yet; a closed-loop workload may
+				// schedule follow-ups once it hears. Deliver them next tick.
+				next, ok = tick+1, true
+			}
+			if !ok {
+				if e.w.Done() && len(queue) == 0 {
+					break // faults drained the last sessions this tick
+				}
 				return nil, fmt.Errorf("serving: workload %q stalled at tick %d: not done, nothing active, next arrival %d (ok=%v)",
 					e.w.Name(), tick, next, ok)
 			}
@@ -139,6 +253,31 @@ func (e *Engine) Run() (*Report, error) {
 		active = live
 	}
 	return e.report(tick, time.Since(e.wallStart)), nil
+}
+
+// degrade sheds queued optional work under sustained pressure: fresh,
+// deadline-less entries (never-admitted best-effort requests) are dropped
+// newest-first until the queue dips below the shed budget. Suspended
+// sessions are never degraded away — work already invested is kept — and
+// deadlined entries are exactly what degradation is making room for.
+func (e *Engine) degrade(queue []*QueueEntry, tick int, finished *[]Finished) []*QueueEntry {
+	for len(queue) >= e.cfg.ShedQueueBudget {
+		drop := -1
+		for i, qe := range queue {
+			if qe.Sess == nil && qe.Deadline == NoDeadline && (drop < 0 || qe.Order > queue[drop].Order) {
+				drop = i
+			}
+		}
+		if drop < 0 {
+			break
+		}
+		qe := queue[drop]
+		e.shedArrive[qe.Index], e.shedTick[qe.Index] = qe.ArriveTick, tick
+		e.shedCount++
+		*finished = append(*finished, Finished{Index: qe.Index, ID: qe.Req.ID, Tick: tick})
+		queue = append(queue[:drop], queue[drop+1:]...)
+	}
+	return queue
 }
 
 // deadlineOf resolves a request's absolute deadline tick at arrival.

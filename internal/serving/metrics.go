@@ -15,8 +15,11 @@ type SessionMetrics struct {
 	Index int
 	// Point carries the session's KPIs: perplexity, measured density,
 	// simulated tok/s and latency, and this session's cache hit rate.
-	Point  eval.Point
-	Tokens int
+	Point eval.Point
+	// Tokens is the surviving decoded prefix; Decoded additionally counts
+	// work discarded by destructive-fault restarts (equal without faults).
+	Tokens  int
+	Decoded int
 	// Share is the granted cache-budget fraction.
 	Share float64
 	SLO   SLO
@@ -39,12 +42,21 @@ type SessionMetrics struct {
 	Turnaround    float64
 	// DeadlineTick is the absolute SLO deadline (NoDeadline when the request
 	// has none); Attained reports FinishTime ≤ DeadlineTick, vacuously true
-	// without a deadline.
+	// without a deadline. Only completed sessions attain: a failed or shed
+	// deadlined request is a miss, and cancelled sessions are excluded from
+	// attainment entirely.
 	DeadlineTick int
 	Attained     bool
 	// Preemptions counts how often the session was suspended mid-run;
 	// ResumeDelayTicks is the total ticks it spent suspended.
 	Preemptions, ResumeDelayTicks int
+	// Outcome is the session's terminal state ("ok", "failed", "cancelled",
+	// or "shed"); Faults counts injected faults it suffered, Retries the
+	// re-placements it was granted, and RecoverTicks the total ticks from
+	// each fault to its re-placement.
+	Outcome               Outcome
+	Faults                int
+	Retries, RecoverTicks int
 }
 
 // ClassMetrics aggregates one SLO class.
@@ -52,9 +64,10 @@ type ClassMetrics struct {
 	// Class is the SLO class label ("default" for unlabeled requests).
 	Class    string
 	Sessions int
-	// Deadlined counts sessions with a real deadline; Attained counts those
-	// that finished by it. AttainRate is Attained/Deadlined (1 when the
-	// class has no deadlines).
+	// Deadlined counts sessions with a real deadline (cancelled ones are
+	// excluded); Attained counts those that finished by it — failed or shed
+	// deadlined requests count as misses. AttainRate is Attained/Deadlined
+	// (1 when the class has no deadlines).
 	Deadlined, Attained int
 	AttainRate          float64
 	// Queue/Turnaround percentiles are in simulated ticks.
@@ -108,6 +121,27 @@ type Report struct {
 	SLOAttainRate float64
 	Classes       []ClassMetrics
 
+	// Robustness block — all zero on reliable hardware. Injector names the
+	// fault plan ("none" without one). StepFaults / Revocations /
+	// Cancellations count injected events that landed on running sessions;
+	// Retries counts granted re-placements, Failed sessions that exhausted
+	// their attempt budget, and Shed arrivals rejected by admission control
+	// or degraded away. DipSlotTicks is capacity lost to dips (slot·ticks
+	// while work existed); MeanRecoverTicks averages fault → re-placement
+	// delay over granted retries.
+	Injector                             string
+	StepFaults, Revocations, Cancellations int
+	Retries, Failed, Shed                int
+	DipSlotTicks                         int
+	MeanRecoverTicks                     float64
+	// GoodTokens counts tokens of completed sessions' surviving work;
+	// Goodput is GoodTokens per simulated second. TotalTokens / SimTokS
+	// above count *all* decoded tokens — including work discarded by
+	// destructive-fault restarts and partial streams of failed or cancelled
+	// sessions — so (SimTokS − Goodput) prices the wasted work.
+	GoodTokens int
+	Goodput    float64
+
 	// Wall is the host-measured annotation (see WallClock).
 	Wall WallClock
 }
@@ -117,6 +151,16 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 	r := &Report{
 		Workload: e.w.Name(), Sched: e.sched.Name(), Preemptor: e.pre.Name(), Arb: e.cfg.Arb,
 		Ticks: ticks, Preemptions: e.preempts, Wall: WallClock{Seconds: wall.Seconds()},
+		Injector:   "none",
+		StepFaults: e.stepFaults, Revocations: e.revokes, Cancellations: e.cancels,
+		Retries: e.retries, Failed: e.failed, Shed: e.shedCount,
+		DipSlotTicks: e.dipSlotTicks,
+	}
+	if e.cfg.Faults != nil {
+		r.Injector = e.cfg.Faults.Name()
+	}
+	if e.recoveries > 0 {
+		r.MeanRecoverTicks = float64(e.recoverTicks) / float64(e.recoveries)
 	}
 	var simSeconds float64
 	var hits, misses int64
@@ -125,8 +169,26 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 	queues := make([]float64, 0, len(e.sessions))
 	turns := make([]float64, 0, len(e.sessions))
 	byClass := make(map[string][]SessionMetrics)
-	for _, s := range e.sessions {
-		if s == nil { // admission failed mid-run; Run already returned an error
+	for i, s := range e.sessions {
+		if s == nil {
+			if e.shedTick[i] < 0 {
+				continue // admission failed mid-run; Run already returned an error
+			}
+			// Shed at admission control (or degraded away): never admitted,
+			// never decoded. A deadlined shed request is an SLO miss.
+			req := e.reqs[i]
+			sm := SessionMetrics{
+				ID: req.ID, Index: i, SLO: req.SLO, Outcome: OutcomeShed,
+				ArriveTick: e.shedArrive[i], FinishTick: e.shedTick[i],
+				FinishTime:   float64(e.shedTick[i]),
+				Turnaround:   float64(e.shedTick[i] - e.shedArrive[i]),
+				DeadlineTick: deadlineOf(e.shedArrive[i], req.SLO),
+			}
+			r.Sessions = append(r.Sessions, sm)
+			if sm.DeadlineTick != NoDeadline {
+				deadlined++
+			}
+			byClass[className(req.SLO)] = append(byClass[className(req.SLO)], sm)
 			continue
 		}
 		pt := s.stream.Point()
@@ -134,9 +196,14 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 		if s.finishSub > 0 && s.finishSub < e.cfg.Quantum {
 			finishTime = float64(s.finishTick-1) + float64(s.finishSub)/float64(e.cfg.Quantum)
 		}
+		outcome := s.outcome
+		if outcome == "" {
+			outcome = OutcomeOK
+		}
 		sm := SessionMetrics{
 			ID: s.ID, Index: s.Index, Point: pt,
-			Tokens: s.stream.Pos(), Share: s.Share, SLO: s.SLO, AdmitRank: s.AdmitRank,
+			Tokens: s.stream.Pos(), Decoded: s.stream.Decoded(),
+			Share: s.Share, SLO: s.SLO, AdmitRank: s.AdmitRank,
 			ArriveTick: s.arriveTick, AdmitTick: s.admitTick, FinishTick: s.finishTick,
 			QueueTicks:       s.admitTick - s.arriveTick,
 			TurnaroundTicks:  s.finishTick - s.arriveTick,
@@ -144,20 +211,27 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 			FinishTime:       finishTime,
 			Turnaround:       finishTime - float64(s.arriveTick),
 			DeadlineTick:     s.deadlineTick,
-			Attained:         finishTime <= float64(s.deadlineTick),
+			Attained:         outcome == OutcomeOK && finishTime <= float64(s.deadlineTick),
 			Preemptions:      s.preempts,
 			ResumeDelayTicks: s.resumeDelay,
+			Outcome:          outcome,
+			Faults:           s.faultCount,
+			Retries:          s.attempts - 1,
+			RecoverTicks:     s.recoverTicks,
 		}
 		r.Sessions = append(r.Sessions, sm)
-		r.TotalTokens += sm.Tokens
-		simSeconds += pt.LatencyS * float64(sm.Tokens)
+		r.TotalTokens += sm.Decoded
+		simSeconds += pt.LatencyS * float64(sm.Decoded)
 		h, m := s.stream.Traffic()
 		hits += h
 		misses += m
 		simLats = append(simLats, pt.LatencyS)
 		queues = append(queues, float64(sm.QueueTicks))
-		turns = append(turns, sm.Turnaround)
-		if sm.DeadlineTick != NoDeadline {
+		if outcome == OutcomeOK {
+			r.GoodTokens += sm.Tokens
+			turns = append(turns, sm.Turnaround)
+		}
+		if sm.DeadlineTick != NoDeadline && outcome != OutcomeCancelled {
 			deadlined++
 			if sm.Attained {
 				attained++
@@ -170,6 +244,7 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 	}
 	if simSeconds > 0 {
 		r.SimTokS = float64(r.TotalTokens) / simSeconds
+		r.Goodput = float64(r.GoodTokens) / simSeconds
 	}
 	if t := hits + misses; t > 0 {
 		r.HitRate = float64(hits) / float64(t)
@@ -217,9 +292,13 @@ func classMetrics(name string, sms []SessionMetrics) ClassMetrics {
 	queues := make([]float64, 0, len(sms))
 	turns := make([]float64, 0, len(sms))
 	for _, sm := range sms {
-		queues = append(queues, float64(sm.QueueTicks))
-		turns = append(turns, sm.Turnaround)
-		if sm.DeadlineTick != NoDeadline {
+		if sm.Outcome != OutcomeShed {
+			queues = append(queues, float64(sm.QueueTicks))
+		}
+		if sm.Outcome == OutcomeOK {
+			turns = append(turns, sm.Turnaround)
+		}
+		if sm.DeadlineTick != NoDeadline && sm.Outcome != OutcomeCancelled {
 			cm.Deadlined++
 			if sm.Attained {
 				cm.Attained++

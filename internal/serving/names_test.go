@@ -1,0 +1,85 @@
+package serving
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparsity"
+)
+
+// Keep-in-sync check: every registry entry must round-trip through its CLI
+// parser — Schedulers/Preemptors/Policies are what NewEngine consumes, and
+// ParseX is what dipbench feeds it, so a name in one but not the other is a
+// policy users can't reach (or a flag value that explodes downstream).
+func TestRegistryNamesRoundTripThroughParsers(t *testing.T) {
+	for _, s := range Schedulers() {
+		got, err := ParseScheduler(s.Name())
+		if err != nil || got.Name() != s.Name() {
+			t.Errorf("scheduler %q does not round-trip: %v", s.Name(), err)
+		}
+	}
+	for _, p := range Preemptors() {
+		got, err := ParsePreemptor(p.Name())
+		if err != nil || got.Name() != p.Name() {
+			t.Errorf("preemptor %q does not round-trip: %v", p.Name(), err)
+		}
+	}
+	for _, a := range Policies() {
+		got, err := ParseArbPolicy(a.String())
+		if err != nil || got != a {
+			t.Errorf("arbitration policy %q does not round-trip: %v", a, err)
+		}
+	}
+	// Unknown names are errors that enumerate the alternatives.
+	if _, err := ParseScheduler("nope"); err == nil || !strings.Contains(err.Error(), "edf") {
+		t.Errorf("unknown scheduler error does not list known names: %v", err)
+	}
+	if _, err := ParsePreemptor("nope"); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("unknown preemptor error does not list known names: %v", err)
+	}
+	if _, err := ParseArbPolicy("nope"); err == nil || !strings.Contains(err.Error(), "fair") {
+		t.Errorf("unknown arbitration error does not list known names: %v", err)
+	}
+}
+
+// Keep-in-sync check: WorkloadNames must list exactly the Name()s the
+// built-in workload constructors produce — it is the list dipbench
+// validates -workload against, so an orphan on either side is a reachable
+// kind users can't select or a selectable kind that doesn't exist.
+func TestWorkloadNamesMatchConstructors(t *testing.T) {
+	trained(t)
+	one := requests(t, 1,
+		func(int) sparsity.Scheme { return sparsity.NewDIP(0.5) },
+		func(int) int { return 1 })
+	poi, err := PoissonArrivals(one, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := ClosedLoop([][]Request{one}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceWorkload([]TraceEntry{{ID: "x", Tokens: 32}}, testBinder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := map[string]bool{}
+	for _, w := range []Workload{FixedBatch(one), poi, closed, tr} {
+		built[w.Name()] = true
+	}
+	listed := map[string]bool{}
+	for _, n := range WorkloadNames() {
+		if listed[n] {
+			t.Errorf("WorkloadNames lists %q twice", n)
+		}
+		listed[n] = true
+		if !built[n] {
+			t.Errorf("WorkloadNames lists %q but no built-in constructor produces it", n)
+		}
+	}
+	for n := range built {
+		if !listed[n] {
+			t.Errorf("constructor produces workload %q missing from WorkloadNames", n)
+		}
+	}
+}

@@ -22,6 +22,10 @@ type QueueEntry struct {
 	// so schedulers rank a suspended session exactly as they ranked the
 	// fresh request.
 	Sess *Session
+	// NotBefore is the earliest tick the entry may be (re-)placed — a
+	// faulted session's retry backoff. The engine's backfill and preemption
+	// scans skip entries still backing off; schedulers never see the field.
+	NotBefore int
 }
 
 // NoDeadline is the Deadline of a request without an SLO deadline; it sorts

@@ -41,6 +41,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/hwsim"
 	"repro/internal/model"
+	"repro/internal/serving/faults"
 	"repro/internal/sparsity"
 )
 
@@ -101,6 +102,29 @@ type Config struct {
 	// Reports are bit-identical either way (enforced in tests); the flag
 	// exists to measure the fusion win and to pin the equivalence in CI.
 	NoFuse bool
+
+	// Faults injects seeded failures into the engine loop (nil = reliable
+	// hardware). Fault draws are pure functions of (seed, tick, slot), so a
+	// chaos run keeps the full determinism contract: bit-identical across
+	// worker counts and fused/unfused paths. See internal/serving/faults.
+	Faults faults.Injector
+	// Retry governs recovery of faulted sessions. The zero value resolves
+	// to the faults.RetryPolicy defaults (3 attempts, seeded exponential
+	// backoff); MaxAttempts 1 disables recovery — the no-recovery baseline.
+	Retry faults.RetryPolicy
+	// ShedQueueBudget, when positive, is the admission-control budget: an
+	// arrival finding the queue already holding that many entries is shed
+	// (rejected, never admitted) instead of queued. 0 = never shed.
+	ShedQueueBudget int
+	// Degrade enables graceful degradation: when the queue has sat at the
+	// shed budget for DegradeTicks consecutive ticks, the engine sheds
+	// queued *optional* work — fresh, deadline-less entries, newest first —
+	// to keep slack for deadlined requests instead of missing their SLOs.
+	// Requires a positive ShedQueueBudget.
+	Degrade bool
+	// DegradeTicks is the sustained-pressure window before Degrade acts
+	// (default 4).
+	DegradeTicks int
 }
 
 // Session is one admitted request's live state.
@@ -129,7 +153,40 @@ type Session struct {
 	// tick of the most recent suspension, and the cumulative ticks spent
 	// suspended (suspend → resume).
 	preempts, suspendTick, resumeDelay int
+	// Robustness bookkeeping: placement attempts consumed (1 after the
+	// first admission), faults suffered, ticks spent fault-suspended
+	// (fault → re-place), why the session last left its slot, and whether a
+	// revocation demands a fresh full-budget grant at resume (exclusive).
+	attempts, faultCount, recoverTicks int
+	suspendedBy                        suspendCause
+	needGrant                          bool
+	outcome                            Outcome
 }
+
+// suspendCause records why a session left its slot — resume accounting
+// differs between a preemption, an injected fault, and a capacity dip.
+type suspendCause int
+
+const (
+	byPreempt suspendCause = iota
+	byFault
+	byDip
+)
+
+// Outcome is a session's terminal state in the report.
+type Outcome string
+
+const (
+	// OutcomeOK: the stream drained to completion.
+	OutcomeOK Outcome = "ok"
+	// OutcomeFailed: faulted with the retry budget exhausted.
+	OutcomeFailed Outcome = "failed"
+	// OutcomeCancelled: the request was cancelled mid-stream by a fault
+	// event; cancelled sessions are excluded from SLO attainment.
+	OutcomeCancelled Outcome = "cancelled"
+	// OutcomeShed: rejected at admission control, never admitted.
+	OutcomeShed Outcome = "shed"
+)
 
 // Engine drains one workload to completion.
 type Engine struct {
@@ -148,6 +205,19 @@ type Engine struct {
 	preempts  int               // aggregate preemption count
 	ran       bool
 	wallStart time.Time
+
+	// Robustness state: the resolved retry policy, aggregate fault/recovery
+	// counters, shed requests by submission index (arrival and shed tick,
+	// -1 = not shed), and the sustained-pressure tick counter driving
+	// graceful degradation.
+	retry                        faults.RetryPolicy
+	stepFaults, revokes, cancels int
+	failed, retries              int
+	dipSlotTicks                 int
+	recoverTicks, recoveries     int
+	shedArrive, shedTick         []int
+	shedCount                    int
+	pressure                     int
 
 	// Per-tick scratch, reused across the run so steady-state ticks do not
 	// allocate engine-side: the fused-step batch (streams plus their
@@ -186,11 +256,32 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("serving: workload %q has no requests", w.Name())
 	}
-	if cfg.MaxActive <= 0 {
+	if cfg.MaxActive < 0 {
+		return nil, fmt.Errorf("serving: Config.MaxActive must be non-negative (0 = default 4), got %d", cfg.MaxActive)
+	}
+	if cfg.Quantum < 0 {
+		return nil, fmt.Errorf("serving: Config.Quantum must be non-negative (0 = default 8), got %d", cfg.Quantum)
+	}
+	if cfg.MaxActive == 0 {
 		cfg.MaxActive = 4
 	}
-	if cfg.Quantum <= 0 {
+	if cfg.Quantum == 0 {
 		cfg.Quantum = 8
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: Config.Retry: %w", err)
+	}
+	if cfg.ShedQueueBudget < 0 {
+		return nil, fmt.Errorf("serving: Config.ShedQueueBudget must be non-negative (0 = never shed), got %d", cfg.ShedQueueBudget)
+	}
+	if cfg.Degrade && cfg.ShedQueueBudget == 0 {
+		return nil, fmt.Errorf("serving: Config.Degrade needs a positive ShedQueueBudget to define pressure")
+	}
+	if cfg.DegradeTicks < 0 {
+		return nil, fmt.Errorf("serving: Config.DegradeTicks must be non-negative (0 = default 4), got %d", cfg.DegradeTicks)
+	}
+	if cfg.DegradeTicks == 0 {
+		cfg.DegradeTicks = 4
 	}
 	var groups [sparsity.NumGroups]bool
 	for i, r := range reqs {
@@ -218,9 +309,15 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	}
 	e := &Engine{
 		m: m, cfg: cfg, w: w, reqs: reqs, sched: cfg.Sched, pre: cfg.Preempt, plan: plan,
+		retry:    cfg.Retry.WithDefaults(),
 		sessions: make([]*Session, len(reqs)), arrived: make([]bool, len(reqs)),
-		batch:     make([]*eval.Stream, 0, cfg.MaxActive),
-		batchSess: make([]*Session, 0, cfg.MaxActive),
+		shedArrive: make([]int, len(reqs)),
+		shedTick:   make([]int, len(reqs)),
+		batch:      make([]*eval.Stream, 0, cfg.MaxActive),
+		batchSess:  make([]*Session, 0, cfg.MaxActive),
+	}
+	for i := range e.shedArrive {
+		e.shedArrive[i], e.shedTick[i] = -1, -1
 	}
 	if cfg.Arb == ArbShared {
 		e.shared = plan.NewCache(cfg.System.Policy)
@@ -260,6 +357,7 @@ func (e *Engine) admit(qe *QueueEntry, rank, tick int) (*Session, error) {
 		return nil, fmt.Errorf("serving: admitting %q: %w", req.ID, err)
 	}
 	sess.stream = st
+	sess.attempts = 1
 	e.sessions[qe.Index] = sess
 	return sess, nil
 }
@@ -281,13 +379,26 @@ func (e *Engine) place(qe *QueueEntry, rank *int, tick int) (*Session, error) {
 		return sess, nil
 	}
 	sess := qe.Sess
-	sess.resumeDelay += tick - sess.suspendTick
-	switch e.cfg.Arb {
-	case ArbFairShare, ArbGreedy:
+	delay := tick - sess.suspendTick
+	sess.resumeDelay += delay
+	if sess.suspendedBy == byFault {
+		// Time-to-recover: fault tick → the tick the session is re-placed.
+		sess.recoverTicks += delay
+		e.recoverTicks += delay
+		e.recoveries++
+	}
+	switch {
+	case e.cfg.Arb == ArbFairShare || e.cfg.Arb == ArbGreedy:
 		share := e.grant(sess)
 		sess.Share = share
 		sess.stream.Regrant(cache.NewModelCache(e.cfg.System.Policy, scaledCaps(e.plan.Caps, share), e.plan.NUnits))
+	case sess.needGrant:
+		// A revoked ArbExclusive session lost its private cache; grant a
+		// fresh one at the full over-committed budget, as at admission.
+		sess.Share = 1
+		sess.stream.Regrant(cache.NewModelCache(e.cfg.System.Policy, e.plan.Caps, e.plan.NUnits))
 	}
+	sess.needGrant = false
 	return sess, nil
 }
 
@@ -301,19 +412,86 @@ func (e *Engine) suspend(sess *Session, tick int) *QueueEntry {
 	sess.preempts++
 	e.preempts++
 	sess.suspendTick = tick
+	sess.suspendedBy = byPreempt
 	switch e.cfg.Arb {
 	case ArbFairShare, ArbGreedy:
 		e.releaseClaim(sess)
 		sess.stream.Release()
 	}
+	return e.requeue(sess, 0)
+}
+
+// dipSuspend parks a session displaced by a capacity dip: the same retained
+// stream and cache semantics as a preemption, but it is not counted as one
+// (nothing outranked the session — its slot went away) and costs no retry
+// attempt. The session is eligible for re-placement as soon as a slot frees.
+func (e *Engine) dipSuspend(sess *Session, tick int) *QueueEntry {
+	sess.suspendTick = tick
+	sess.suspendedBy = byDip
+	switch e.cfg.Arb {
+	case ArbFairShare, ArbGreedy:
+		e.releaseClaim(sess)
+		sess.stream.Release()
+	}
+	return e.requeue(sess, 0)
+}
+
+// faultSuspend pulls a faulted session out of its slot, consuming one retry
+// attempt, or reports that the attempt budget is exhausted (nil). A
+// transient step fault retains decode state under the same cache semantics
+// as a preemption: exclusive and shared caches survive (warm resume — the
+// exclusive case stays bit-identical to an uninterrupted solo run), while
+// fair/greedy grants are released and resume cold. A destructive fault
+// (revocation) additionally tears down the stream's decode state with the
+// grant: the stream Restarts and re-prefills from scratch on resume,
+// keeping its meter and traffic — wasted work shows up as the
+// throughput−goodput gap. Either way the session re-enters the queue with
+// its original scheduler rank, gated by the retry policy's seeded backoff.
+func (e *Engine) faultSuspend(sess *Session, tick int, destructive bool) *QueueEntry {
+	sess.faultCount++
+	if sess.attempts >= e.retry.MaxAttempts {
+		return nil
+	}
+	sess.attempts++
+	e.retries++
+	sess.suspendTick = tick
+	sess.suspendedBy = byFault
+	if destructive {
+		e.releaseClaim(sess)
+		sess.stream.Release()
+		sess.stream.Restart()
+		sess.needGrant = e.cfg.Arb == ArbExclusive
+	} else {
+		switch e.cfg.Arb {
+		case ArbFairShare, ArbGreedy:
+			e.releaseClaim(sess)
+			sess.stream.Release()
+		}
+	}
+	return e.requeue(sess, tick+e.retry.Backoff(e.cfg.Seed, sess.Index, sess.attempts-1))
+}
+
+// requeue wraps a suspended session back into a queue entry carrying its
+// original Order, ArriveTick, and deadline so schedulers rank it exactly as
+// before; notBefore gates re-placement (retry backoff).
+func (e *Engine) requeue(sess *Session, notBefore int) *QueueEntry {
 	return &QueueEntry{
 		Req: e.reqs[sess.Index], Index: sess.Index, Sess: sess,
 		ArriveTick: sess.arriveTick, Order: sess.order, Deadline: sess.deadlineTick,
+		NotBefore: notBefore,
 	}
 }
 
-// retire finalizes a finished session and releases any greedy claim.
-func (e *Engine) retire(sess *Session, tick int) {
+// finish finalizes a session with its terminal outcome and releases any
+// greedy claim. Failed and cancelled sessions keep their stream, so the
+// report still prices the partial work they did.
+func (e *Engine) finish(sess *Session, tick int, oc Outcome) {
 	sess.finishTick = tick
+	sess.outcome = oc
 	e.releaseClaim(sess)
+}
+
+// retire finalizes a successfully drained session.
+func (e *Engine) retire(sess *Session, tick int) {
+	e.finish(sess, tick, OutcomeOK)
 }

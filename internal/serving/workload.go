@@ -93,6 +93,9 @@ type poisson struct {
 // PoissonArrivals builds a seeded open-loop trace over reqs: arrivals are a
 // Poisson process with the given mean rate in requests per tick.
 func PoissonArrivals(reqs []Request, rate float64, seed uint64) (Workload, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serving: poisson workload has no requests")
+	}
 	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
 		return nil, fmt.Errorf("serving: poisson rate must be a positive requests/tick, got %v", rate)
 	}
