@@ -19,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serving"
+	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
 )
@@ -127,8 +128,10 @@ func serveBenchModel() *model.Model {
 // fused decode path on or off, reporting aggregate decoded tokens per wall
 // second as a custom metric. Engines are single-shot, so each iteration
 // builds a fresh one; construction cost (plan probe, admission) is shared
-// by both variants and small next to the decode loop.
-func serveBench(b *testing.B, noFuse bool) {
+// by both variants and small next to the decode loop. With observed set,
+// each engine gets a fresh event recorder — the tracing-on overhead the CI
+// compares against the plain fused run.
+func serveBench(b *testing.B, noFuse, observed bool) {
 	m := serveBenchModel()
 	const batch = 8
 	const win = 32
@@ -154,9 +157,13 @@ func serveBench(b *testing.B, noFuse bool) {
 	total := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		var rec *obs.Recorder
+		if observed {
+			rec = obs.NewRecorder(obs.Config{})
+		}
 		e, err := serving.NewEngine(m, serving.Config{
 			System: sys, Arb: serving.ArbShared, MaxActive: batch,
-			Quantum: 8, Seed: 1, NoFuse: noFuse,
+			Quantum: 8, Seed: 1, NoFuse: noFuse, Obs: rec,
 		}, serving.FixedBatch(makeReqs()))
 		if err != nil {
 			b.Fatal(err)
@@ -174,12 +181,19 @@ func serveBench(b *testing.B, noFuse bool) {
 // BenchmarkServeBatched is the serving engine's fused multi-RHS decode path
 // at batch 8: one batched step per token sub-quantum walks every weight
 // matrix once for all eight sessions.
-func BenchmarkServeBatched(b *testing.B) { serveBench(b, false) }
+func BenchmarkServeBatched(b *testing.B) { serveBench(b, false, false) }
 
 // BenchmarkServeUnbatched is the same workload through the per-session
 // path (each session steps independently) — the PR 3 baseline the fused
 // path is measured against.
-func BenchmarkServeUnbatched(b *testing.B) { serveBench(b, true) }
+func BenchmarkServeUnbatched(b *testing.B) { serveBench(b, true, false) }
+
+// BenchmarkServeObserved is BenchmarkServeBatched with an event recorder
+// attached: every scheduling decision is logged and the windowed telemetry
+// trackers run. The CI asserts its tok/s stays within a bounded fraction of
+// the plain fused run — observability must be cheap when on, free when off
+// (the off path is pinned to zero allocations by the serving tests).
+func BenchmarkServeObserved(b *testing.B) { serveBench(b, false, true) }
 
 // BenchmarkFig2Trends regenerates the Figure-2 trend fits.
 func BenchmarkFig2Trends(b *testing.B) {

@@ -18,9 +18,12 @@
 //	dipbench -serve -sched edf -preempt deadline  # deadline-aware preemption
 //	dipbench -serve -small -faults 0.05 -retry 3 -shed 8  # seeded chaos on the grid
 //	dipbench -exp chaos -small        # fault-injection grid: recovery vs baseline
+//	dipbench -serve -small -events out/ev            # one JSONL event log per grid cell
+//	dipbench -serve -small -events out/ev -events-format chrome -obs-window 64
 //
 // The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
-// -sched, -preempt, -arb, -fuse, -faults, -retry, -shed) are rejected
+// -sched, -preempt, -arb, -fuse, -faults, -retry, -shed, -events,
+// -events-format, -obs-window) are rejected
 // without -serve (or -exp serve / -exp chaos / -exp all), -small conflicts
 // with an explicit -scale paper, and -slo/-rate are rejected where they
 // would be ignored (trace files carry their own deadlines; only poisson has
@@ -47,6 +50,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/serving"
+	"repro/internal/serving/obs"
 )
 
 // benchTable is the JSON record of one rendered table.
@@ -105,6 +109,9 @@ func run() int {
 		faultRate  = flag.Float64("faults", 0, "with -serve or -exp chaos: seeded fault-injection rate in [0,1] (faults.Mix; 0 = off for -serve, the default sweep for chaos)")
 		retry      = flag.Int("retry", 0, "with -serve or -exp chaos: retry budget in total attempts under fault injection (0 = engine default 3; 1 = no recovery)")
 		shed       = flag.Int("shed", 0, "with -serve or -exp chaos: admission-control queue budget (0 = no shedding; positive also enables graceful degradation)")
+		events     = flag.String("events", "", "with -serve or -exp chaos: enable event tracing and write one event log per grid cell to <PREFIX>-<cell>.<ext>")
+		eventsFmt  = flag.String("events-format", "", "with -serve or -exp chaos: event-log format (jsonl|chrome; default jsonl; needs -events)")
+		obsWindow  = flag.Int("obs-window", 0, "with -serve or -exp chaos: moving-window width in simulated ticks for windowed telemetry (0 = serving default; enables tracing)")
 		jsonPath   = flag.String("json", "", "BENCH_results.json path ('' = <out>/BENCH_results.json or ./BENCH_results.json; 'none' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -131,7 +138,7 @@ func run() int {
 	// shaping flags pass through; -small stays serve-only because it forces
 	// the scale, which would rescale every other experiment too.
 	servesToo := *exp == "serve" || *exp == "chaos" || *exp == "all"
-	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed"} {
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed", "events", "events-format", "obs-window"} {
 		if set[f] && !servesToo {
 			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenarios; add -serve (or -exp serve / -exp chaos / -exp all)\n", f)
 			return 2
@@ -192,6 +199,24 @@ func run() int {
 	}
 	if set["shed"] && *shed <= 0 {
 		fmt.Fprintf(os.Stderr, "dipbench: -shed must be a positive queue budget, got %d\n", *shed)
+		return 2
+	}
+	if set["events"] && *events == "" {
+		fmt.Fprintln(os.Stderr, "dipbench: -events needs a path prefix for the per-cell event logs")
+		return 2
+	}
+	if *eventsFmt != "" {
+		if _, err := obs.ParseFormat(*eventsFmt); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+			return 2
+		}
+		if *events == "" {
+			fmt.Fprintln(os.Stderr, "dipbench: -events-format shapes the event-log files; add -events PREFIX")
+			return 2
+		}
+	}
+	if set["obs-window"] && *obsWindow <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -obs-window must be a positive width in simulated ticks, got %d\n", *obsWindow)
 		return 2
 	}
 	if *exp == "chaos" {
@@ -275,6 +300,9 @@ func run() int {
 	lab.ServeFaults = *faultRate
 	lab.ServeRetry = *retry
 	lab.ServeShed = *shed
+	lab.ServeEvents = *events
+	lab.ServeEventsFormat = *eventsFmt
+	lab.ServeObsWindow = *obsWindow
 	if *verbose {
 		lab.Log = os.Stderr
 	}

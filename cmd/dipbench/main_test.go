@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/serving"
+	"repro/internal/serving/obs"
 )
 
 // declaredFlags parses main.go and returns every flag declaration's name →
@@ -164,6 +165,7 @@ func TestFlagUsageEnumerationsMatchServingRegistries(t *testing.T) {
 	check("sched", scheds)
 	check("preempt", pres)
 	check("arb", arbs)
+	check("events-format", obs.FormatNames())
 	// The robustness flags reach the chaos scenario too; their usage must
 	// say so, since the guard error message points users at it.
 	for _, f := range []string{"faults", "retry", "shed"} {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cache"
 	"repro/internal/data"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/serving"
 	"repro/internal/serving/faults"
+	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 )
 
@@ -237,4 +239,58 @@ func main() {
 			}
 		}
 	}
+
+	// 7. Observability: attach a recorder and the engine narrates every
+	//    scheduling decision — arrivals, admissions, preemptions, faults,
+	//    retries, finishes — as structured events on the same simulated tick
+	//    clock, so the event log is exactly as reproducible as the report.
+	//    The recorder also keeps tick-windowed telemetry (Snapshot) and the
+	//    log exports as JSONL or a Chrome trace you can open in Perfetto.
+	fmt.Println("\n== observability: structured events, windowed telemetry, Chrome trace ==")
+	rec := obs.NewRecorder(obs.Config{Window: 32})
+	workload, err := serving.PoissonArrivals(tight, 0.25, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := serving.NewEngine(m, serving.Config{
+		System: sys, Arb: serving.ArbShared, Sched: serving.EDF(),
+		Preempt: serving.DeadlinePreempt(), MaxActive: 2, Quantum: 8, Seed: 42,
+		Faults: plan, Retry: faults.RetryPolicy{MaxAttempts: 3},
+		ShedQueueBudget: 4, Degrade: true,
+		Obs: rec,
+	}, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every aggregate the recorder derives must reconcile exactly with the
+	// report's own counters — the library enforces the same invariant in CI.
+	if err := rep.ReconcileObs(); err != nil {
+		log.Fatal(err)
+	}
+	events := rec.Events()
+	fmt.Printf("  %d events over %d ticks; first three:\n", len(events), rep.Ticks)
+	for _, ev := range events[:3] {
+		fmt.Printf("    tick %2d  slot %2d  %-10s %s %s\n", ev.Tick, ev.Slot, ev.Kind, ev.Session, ev.Detail)
+	}
+	snap := rep.Obs
+	fmt.Printf("  trailing-%d-tick window at finish: %.2f tok/tick (%.2f good), mean queue %.2f, hit rate %.3f\n",
+		snap.Window, snap.TokensPerTick, snap.GoodTokensPerTick, snap.MeanQueueDepth, snap.HitRate)
+	fmt.Printf("  event totals: %d admits, %d preempt-suspends, %d retries, %d ok finishes\n",
+		snap.Counts.Admits, snap.Counts.Preemptions, snap.Counts.Retries, snap.Counts.FinishedOK)
+	tracePath := filepath.Join(os.TempDir(), "serving-trace.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Chrome trace written to %s — open it at https://ui.perfetto.dev\n", tracePath)
 }

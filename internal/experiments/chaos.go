@@ -112,10 +112,12 @@ func Chaos(l *Lab) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		rec := l.obsRecorder()
 		cfg := serving.Config{
 			System: sys, Arb: arb, Sched: serving.EDF(), Preempt: pre,
 			MaxActive: slots, Quantum: quantum, Seed: l.ServeSeed,
 			Faults: plan, Retry: faults.RetryPolicy{MaxAttempts: 1},
+			Obs:    rec,
 		}
 		if recover {
 			cfg.Retry = faults.RetryPolicy{MaxAttempts: retryAttempts}
@@ -130,7 +132,24 @@ func Chaos(l *Lab) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.Run()
+		rep, err := e.Run()
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			if err := rep.ReconcileObs(); err != nil {
+				return nil, fmt.Errorf("chaos: rate %v %s/%s: %w", frate, pre.Name(), arb, err)
+			}
+			mode := "none"
+			if recover {
+				mode = "recovery"
+			}
+			cell := fmt.Sprintf("%v-%s-%s-%s", frate, mode, pre.Name(), arb)
+			if err := l.writeCellEvents(cell, rec); err != nil {
+				return nil, err
+			}
+		}
+		return rep, nil
 	}
 
 	out := &Table{

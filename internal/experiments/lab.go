@@ -85,6 +85,19 @@ type Lab struct {
 	// injection (dipbench -shed; 0 = no shedding). A positive budget also
 	// enables graceful degradation of queued best-effort work.
 	ServeShed int
+	// ServeEvents enables structured event tracing and names the path
+	// prefix for the per-cell event logs (dipbench -events; each grid cell
+	// writes <prefix>-<cell>.<ext>). Empty disables tracing unless
+	// ServeObsWindow asks for windowed telemetry.
+	ServeEvents string
+	// ServeEventsFormat picks the event-log encoding (dipbench
+	// -events-format; an obs format name, "" = JSONL).
+	ServeEventsFormat string
+	// ServeObsWindow sets the moving-window width in simulated ticks for
+	// the windowed telemetry snapshot (dipbench -obs-window; 0 = the obs
+	// package default). A positive width enables tracing even without
+	// ServeEvents, surfacing the snapshot on each cell's report.
+	ServeObsWindow int
 
 	tok    *data.Tokenizer
 	splits data.Splits

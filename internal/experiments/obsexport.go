@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/serving/obs"
+)
+
+// obsTracing reports whether the lab's flags ask the serving scenarios to
+// attach an event recorder (either to export per-cell logs, or just to
+// surface the windowed-telemetry snapshot on each report).
+func (l *Lab) obsTracing() bool { return l.ServeEvents != "" || l.ServeObsWindow > 0 }
+
+// obsRecorder builds a fresh recorder for one grid cell. Recorders are
+// single-run (Bind rejects reuse), so every engine gets its own. Returns
+// nil — tracing off, the engine's zero-overhead path — when the lab has no
+// observability flags set.
+func (l *Lab) obsRecorder() *obs.Recorder {
+	if !l.obsTracing() {
+		return nil
+	}
+	return obs.NewRecorder(obs.Config{Window: l.ServeObsWindow})
+}
+
+// obsFormat resolves the lab's event-log format ("" defaults to JSONL).
+func (l *Lab) obsFormat() (string, error) {
+	if l.ServeEventsFormat == "" {
+		return obs.FormatJSONL, nil
+	}
+	return obs.ParseFormat(l.ServeEventsFormat)
+}
+
+// writeCellEvents exports one cell's event log to
+// <ServeEvents>-<cell>.<ext>, creating parent directories as needed. A nil
+// recorder or an unset -events prefix is a no-op.
+func (l *Lab) writeCellEvents(cell string, rec *obs.Recorder) error {
+	if l.ServeEvents == "" || rec == nil {
+		return nil
+	}
+	format, err := l.obsFormat()
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("%s-%s%s", l.ServeEvents, cell, obs.FormatExt(format))
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Export(f, format, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

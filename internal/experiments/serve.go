@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/serving/faults"
+	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 )
 
@@ -194,7 +196,15 @@ func Serve(l *Lab) ([]*Table, error) {
 	}
 	cols := []string{"workload", "sched", "preempt", "policy", "sessions", "slots",
 		"sim_tok_s", "goodput", "hit_rate", "mean_ppl", "p50_lat_ms", "p99_lat_ms",
-		"queue_p50_t", "turn_p99_t", "slo_attain", "preempts", "retries", "shed", "fused", "wall_tok_s"}
+		"queue_p50_t", "turn_p99_t", "slo_attain", "preempts", "retries", "shed"}
+	if l.obsTracing() {
+		// Windowed telemetry from the observability snapshot: decode rate
+		// and queue depth over the trailing -obs-window ticks at finish.
+		// Inserted before the fused/wall tail so the wall annotation(s)
+		// stay the trailing columns the determinism checks strip.
+		cols = append(cols, "win_tok_t", "win_q_depth")
+	}
+	cols = append(cols, "fused", "wall_tok_s")
 	if fuse == "both" {
 		cols = append(cols, "wall_unfused_tok_s")
 	}
@@ -217,33 +227,47 @@ func Serve(l *Lab) ([]*Table, error) {
 		}
 		plan = p
 	}
-	runCell := func(kind string, sched serving.Scheduler, pre serving.Preemptor, arb serving.ArbPolicy, noFuse bool) (*serving.Report, error) {
+	runCell := func(kind string, sched serving.Scheduler, pre serving.Preemptor, arb serving.ArbPolicy, noFuse bool) (*serving.Report, *obs.Recorder, error) {
 		w, err := newWorkload(kind)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		rec := l.obsRecorder()
 		e, err := serving.NewEngine(m, serving.Config{
 			System: sys, Arb: arb, Sched: sched, Preempt: pre,
 			MaxActive: slots, Quantum: quantum, Seed: l.ServeSeed, NoFuse: noFuse,
 			Faults: plan, Retry: faults.RetryPolicy{MaxAttempts: l.ServeRetry},
 			ShedQueueBudget: l.ServeShed, Degrade: l.ServeShed > 0,
+			Obs: rec,
 		}, w)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return e.Run()
+		rep, err := e.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec != nil {
+			// The reconciliation invariant is cheap; holding it on every
+			// cell means an exported event log always sums to the report
+			// beside it.
+			if err := rep.ReconcileObs(); err != nil {
+				return nil, nil, fmt.Errorf("serve: %s/%s/%s/%s: %w", kind, sched.Name(), pre.Name(), arb, err)
+			}
+		}
+		return rep, rec, nil
 	}
 	for _, kind := range workloads {
 		for _, sched := range scheds {
 			for _, pre := range preempts {
 				for _, arb := range arbs {
-					rep, err := runCell(kind, sched, pre, arb, fuse == "off")
+					rep, rec, err := runCell(kind, sched, pre, arb, fuse == "off")
 					if err != nil {
 						return nil, err
 					}
 					var unfusedWall serving.WallClock
 					if fuse == "both" {
-						unfused, err := runCell(kind, sched, pre, arb, true)
+						unfused, urec, err := runCell(kind, sched, pre, arb, true)
 						if err != nil {
 							return nil, err
 						}
@@ -257,10 +281,28 @@ func Serve(l *Lab) ([]*Table, error) {
 								kind, sched.Name(), pre.Name(), arb)
 						}
 						rep.Wall, unfused.Wall = fw, uw
+						if rec != nil {
+							// Stronger than the report check: the full event
+							// stream must match byte for byte too.
+							var fb, ub bytes.Buffer
+							if err := obs.WriteJSONL(&fb, rec.Events()); err != nil {
+								return nil, err
+							}
+							if err := obs.WriteJSONL(&ub, urec.Events()); err != nil {
+								return nil, err
+							}
+							if !bytes.Equal(fb.Bytes(), ub.Bytes()) {
+								return nil, fmt.Errorf("serve: %s/%s/%s/%s: event log diverged between fused and per-session paths",
+									kind, sched.Name(), pre.Name(), arb)
+							}
+						}
 						fusedTokens += rep.TotalTokens
 						fusedSeconds += fw.Seconds
 						unfusedTokens += unfused.TotalTokens
 						unfusedSeconds += uw.Seconds
+					}
+					if err := l.writeCellEvents(fmt.Sprintf("%s-%s-%s-%s", kind, sched.Name(), pre.Name(), arb), rec); err != nil {
+						return nil, err
 					}
 					var ppl float64
 					ok := 0
@@ -277,7 +319,11 @@ func Serve(l *Lab) ([]*Table, error) {
 						rep.SimTokS, rep.Goodput, rep.HitRate, ppl,
 						rep.SimLatencyP50 * 1e3, rep.SimLatencyP99 * 1e3,
 						rep.QueueP50, rep.TurnaroundP99, rep.SLOAttainRate, rep.Preemptions,
-						rep.Retries, rep.Shed, fuse, rep.Wall.TokS}
+						rep.Retries, rep.Shed}
+					if l.obsTracing() {
+						row = append(row, rep.Obs.TokensPerTick, rep.Obs.MeanQueueDepth)
+					}
+					row = append(row, fuse, rep.Wall.TokS)
 					if fuse == "both" {
 						row = append(row, unfusedWall.TokS)
 					}
@@ -304,6 +350,11 @@ func Serve(l *Lab) ([]*Table, error) {
 		"wall_tok_s is the host annotation (sessions fan out over the worker pool); it varies run to run",
 		"fused=on decodes the batch through the multi-RHS kernels (one weight walk per tick); -fuse off|both selects the per-session path or both",
 	)
+	if l.obsTracing() {
+		out.Notes = append(out.Notes,
+			"win_tok_t / win_q_depth are the trailing -obs-window decode rate and mean queue depth from the observability snapshot; with -events each cell also wrote <prefix>-<cell> event logs, reconciled against the report counters",
+		)
+	}
 	tables := []*Table{out}
 	if fuse == "both" {
 		cmp := &Table{

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/parallel"
+	"repro/internal/serving/obs"
 	"repro/internal/tensor"
 )
 
@@ -55,12 +56,19 @@ func (e *Engine) Run() (*Report, error) {
 				return nil, fmt.Errorf("serving: workload %q yielded request %d (%q) twice", e.w.Name(), idx, e.reqs[idx].ID)
 			}
 			e.arrived[idx] = true
+			if e.obs != nil {
+				e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindArrive,
+					Session: e.reqs[idx].ID, Detail: className(e.reqs[idx].SLO)})
+			}
 			if e.cfg.ShedQueueBudget > 0 && len(queue) >= e.cfg.ShedQueueBudget {
 				// Admission control: the queue is at budget, so the arrival
 				// is shed outright — it never holds a slot, never decodes,
 				// and reports back to the workload as finished next tick.
 				e.shedArrive[idx], e.shedTick[idx] = tick, tick
 				e.shedCount++
+				if e.obs != nil {
+					e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindShed, Session: e.reqs[idx].ID})
+				}
 				finished = append(finished, Finished{Index: idx, ID: e.reqs[idx].ID, Tick: tick})
 				continue
 			}
@@ -99,27 +107,39 @@ func (e *Engine) Run() (*Report, error) {
 				switch {
 				case e.cfg.Faults.Cancel(tick, slot):
 					e.cancels++
+					if e.obs != nil {
+						e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindFault, Session: s.ID, Detail: obs.DetailCancel})
+					}
 					e.finish(s, tick, OutcomeCancelled)
+					e.emitFinish(tick, slot, s)
 					finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
 				case e.cfg.Faults.Revoke(tick, slot) && e.cfg.Arb != ArbShared:
 					// An eviction storm takes the session's grant (or greedy
 					// claim) and the decode state built on it; under ArbShared
 					// there is no per-session grant to revoke.
 					e.revokes++
-					if qe := e.faultSuspend(s, tick, true); qe != nil {
+					if e.obs != nil {
+						e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindFault, Session: s.ID, Detail: obs.DetailRevoke})
+					}
+					if qe := e.faultSuspend(s, tick, slot, true); qe != nil {
 						queue = append(queue, qe)
 					} else {
 						e.failed++
 						e.finish(s, tick, OutcomeFailed)
+						e.emitFinish(tick, slot, s)
 						finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
 					}
 				case e.cfg.Faults.StepFault(tick, slot):
 					e.stepFaults++
-					if qe := e.faultSuspend(s, tick, false); qe != nil {
+					if e.obs != nil {
+						e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindFault, Session: s.ID, Detail: obs.DetailStep})
+					}
+					if qe := e.faultSuspend(s, tick, slot, false); qe != nil {
 						queue = append(queue, qe)
 					} else {
 						e.failed++
 						e.finish(s, tick, OutcomeFailed)
+						e.emitFinish(tick, slot, s)
 						finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
 					}
 				default:
@@ -131,9 +151,9 @@ func (e *Engine) Run() (*Report, error) {
 			// displaced sessions park (stream retained) until capacity
 			// returns or another slot frees.
 			for len(active) > e.cfg.MaxActive-offline {
-				last := active[len(active)-1]
-				queue = append(queue, e.dipSuspend(last, tick))
-				active = active[:len(active)-1]
+				last := len(active) - 1
+				queue = append(queue, e.dipSuspend(active[last], tick, last))
+				active = active[:last]
 			}
 		}
 		for len(active) < e.cfg.MaxActive-offline {
@@ -151,7 +171,7 @@ func (e *Engine) Run() (*Report, error) {
 			}
 			qe := queue[best]
 			queue = append(queue[:best], queue[best+1:]...)
-			sess, err := e.place(qe, &rank, tick)
+			sess, err := e.place(qe, &rank, tick, len(active))
 			if err != nil {
 				return nil, err
 			}
@@ -186,8 +206,8 @@ func (e *Engine) Run() (*Report, error) {
 			}
 			qe := queue[qi]
 			queue = append(queue[:qi], queue[qi+1:]...)
-			queue = append(queue, e.suspend(active[slot], tick))
-			sess, err := e.place(qe, &rank, tick)
+			queue = append(queue, e.suspend(active[slot], tick, slot))
+			sess, err := e.place(qe, &rank, tick, slot)
 			if err != nil {
 				return nil, err
 			}
@@ -232,6 +252,11 @@ func (e *Engine) Run() (*Report, error) {
 			tick = next
 			continue
 		}
+		// Telemetry brackets the decode switch from the serial loop: the
+		// parallel tick paths themselves never touch the recorder, so the
+		// event stream and tracker feed are identical for any worker count
+		// and either decode path.
+		tokPre, hitPre, missPre := e.obsTickStart(tick, active, len(queue))
 		switch {
 		case !e.cfg.NoFuse:
 			e.tickFused(active)
@@ -240,11 +265,16 @@ func (e *Engine) Run() (*Report, error) {
 		default:
 			e.tickPartitioned(active)
 		}
+		e.obsTickEnd(tick, active, tokPre, hitPre, missPre)
 		tick++
 		live := active[:0]
-		for _, s := range active {
+		for slot, s := range active {
 			if s.stream.Done() {
 				e.retire(s, tick)
+				if e.obs != nil {
+					e.emitFinish(tick, slot, s)
+					e.obs.ObserveGood(tick, s.stream.Pos())
+				}
 				finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
 			} else {
 				live = append(live, s)
@@ -254,6 +284,69 @@ func (e *Engine) Run() (*Report, error) {
 	}
 	return e.report(tick, time.Since(e.wallStart)), nil
 }
+
+// emitFinish records a session's terminal event (no-op with tracing off).
+// OK finishes carry the 1-based sub-quantum drain step, the same
+// path-identical offset the report's FinishSubStep uses.
+func (e *Engine) emitFinish(tick, slot int, sess *Session) {
+	if e.obs == nil {
+		return
+	}
+	detail := obs.DetailOK
+	sub := sess.finishSub
+	switch sess.outcome {
+	case OutcomeFailed:
+		detail, sub = obs.DetailFailed, 0
+	case OutcomeCancelled:
+		detail, sub = obs.DetailCancelled, 0
+	}
+	e.obs.Emit(obs.Event{Tick: tick, SubStep: sub, Slot: slot, Kind: obs.KindFinish, Session: sess.ID, Detail: detail})
+}
+
+// obsTickStart feeds the tick-start telemetry (queue depth, per-class SLO
+// slack, the step-batch event) and snapshots the active streams' counters
+// so obsTickEnd can difference them. With tracing off it is a
+// zero-allocation no-op (pinned by TestDisabledObserverAddsNoTickAllocations).
+func (e *Engine) obsTickStart(tick int, active []*Session, queued int) (tok int, hits, misses int64) {
+	if e.obs == nil {
+		return 0, 0, 0
+	}
+	e.obs.ObserveQueue(tick, queued)
+	for _, s := range active {
+		st := s.stream.Stats()
+		tok += st.Decoded
+		hits += st.Hits
+		misses += st.Misses
+		if s.deadlineTick != NoDeadline {
+			e.obs.ObserveSlack(tick, className(s.SLO), s.deadlineTick-tick)
+		}
+	}
+	e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindStepBatch, Detail: widthDetail(len(active))})
+	return tok, hits, misses
+}
+
+// obsTickEnd feeds the executed tick's decode deltas and, under ArbShared,
+// records the slot-order commit of the tick's buffered accesses.
+func (e *Engine) obsTickEnd(tick int, active []*Session, tokPre int, hitPre, missPre int64) {
+	if e.obs == nil {
+		return
+	}
+	var tok int
+	var hits, misses int64
+	for _, s := range active {
+		st := s.stream.Stats()
+		tok += st.Decoded
+		hits += st.Hits
+		misses += st.Misses
+	}
+	e.obs.ObserveDecode(tick, tok-tokPre, hits-hitPre, misses-missPre)
+	if e.cfg.Arb == ArbShared {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindCommit, Detail: widthDetail(len(active))})
+	}
+}
+
+// widthDetail renders a batch width for the event log.
+func widthDetail(n int) string { return fmt.Sprintf("width=%d", n) }
 
 // degrade sheds queued optional work under sustained pressure: fresh,
 // deadline-less entries (never-admitted best-effort requests) are dropped
@@ -274,6 +367,9 @@ func (e *Engine) degrade(queue []*QueueEntry, tick int, finished *[]Finished) []
 		qe := queue[drop]
 		e.shedArrive[qe.Index], e.shedTick[qe.Index] = qe.ArriveTick, tick
 		e.shedCount++
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindDegrade, Session: qe.Req.ID})
+		}
 		*finished = append(*finished, Finished{Index: qe.Index, ID: qe.Req.ID, Tick: tick})
 		queue = append(queue[:drop], queue[drop+1:]...)
 	}

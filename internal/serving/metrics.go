@@ -1,10 +1,12 @@
 package serving
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/serving/obs"
 )
 
 // SessionMetrics is one finished session's record. Every field is measured
@@ -142,8 +144,64 @@ type Report struct {
 	GoodTokens int
 	Goodput    float64
 
+	// Obs is the drain-time moving-window snapshot when a Config.Obs
+	// recorder was attached (nil with tracing off). Every field in it runs
+	// on the simulated clock, so it is inside the determinism contract —
+	// fused and unfused reports carry identical snapshots.
+	Obs *obs.Snapshot
+
 	// Wall is the host-measured annotation (see WallClock).
 	Wall WallClock
+}
+
+// ReconcileObs cross-checks the observer's aggregate event counts against
+// the report's own counters and session outcomes, failing on the first
+// divergent counter by name. The two are computed by independent code
+// paths (per-decision event emissions vs the engine's running totals), so
+// a pass means the event stream accounts for every counted decision — the
+// guard against silent metrics drift.
+func (r *Report) ReconcileObs() error {
+	if r.Obs == nil {
+		return fmt.Errorf("serving: report carries no observer snapshot (run with Config.Obs set)")
+	}
+	var okFinishes, shedSessions, admitted int
+	for _, sm := range r.Sessions {
+		switch sm.Outcome {
+		case OutcomeOK:
+			okFinishes++
+			admitted++
+		case OutcomeShed:
+			shedSessions++
+		default:
+			admitted++
+		}
+	}
+	c := r.Obs.Counts
+	checks := []struct {
+		name            string
+		events, counter int
+	}{
+		{"arrivals vs reported sessions", c.Arrivals, len(r.Sessions)},
+		{"admit events vs admitted sessions", c.Admits, admitted},
+		{"step-fault events vs Report.StepFaults", c.StepFaults, r.StepFaults},
+		{"revocation events vs Report.Revocations", c.Revocations, r.Revocations},
+		{"cancel-fault events vs Report.Cancellations", c.Cancellations, r.Cancellations},
+		{"cancelled finish events vs Report.Cancellations", c.Cancelled, r.Cancellations},
+		{"retry events vs Report.Retries", c.Retries, r.Retries},
+		{"fault-suspend events vs Report.Retries", c.FaultSuspends, r.Retries},
+		{"failed finish events vs Report.Failed", c.Failed, r.Failed},
+		{"preemption suspend events vs Report.Preemptions", c.Preemptions, r.Preemptions},
+		{"shed+degrade events vs Report.Shed", c.ShedArrivals + c.Degraded, r.Shed},
+		{"shed+degrade events vs shed sessions", c.ShedArrivals + c.Degraded, shedSessions},
+		{"ok finish events vs ok sessions", c.FinishedOK, okFinishes},
+	}
+	for _, ck := range checks {
+		if ck.events != ck.counter {
+			return fmt.Errorf("serving: observability reconciliation failed on %s: %d event(s) vs %d",
+				ck.name, ck.events, ck.counter)
+		}
+	}
+	return nil
 }
 
 // report assembles the Report after the engine loop drains.
@@ -158,6 +216,10 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 	}
 	if e.cfg.Faults != nil {
 		r.Injector = e.cfg.Faults.Name()
+	}
+	if e.obs != nil {
+		snap := e.obs.Snapshot(ticks)
+		r.Obs = &snap
 	}
 	if e.recoveries > 0 {
 		r.MeanRecoverTicks = float64(e.recoverTicks) / float64(e.recoveries)

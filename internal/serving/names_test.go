@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 )
 
@@ -39,6 +40,24 @@ func TestRegistryNamesRoundTripThroughParsers(t *testing.T) {
 	}
 	if _, err := ParseArbPolicy("nope"); err == nil || !strings.Contains(err.Error(), "fair") {
 		t.Errorf("unknown arbitration error does not list known names: %v", err)
+	}
+	// The exporter-format registry feeds dipbench -events-format the same
+	// way: every listed format must round-trip, and each must map to a
+	// distinct file extension (per-cell event files disambiguate by ext).
+	exts := map[string]string{}
+	for _, f := range obs.FormatNames() {
+		got, err := obs.ParseFormat(f)
+		if err != nil || got != f {
+			t.Errorf("event-log format %q does not round-trip: %v", f, err)
+		}
+		ext := obs.FormatExt(f)
+		if prev, dup := exts[ext]; dup {
+			t.Errorf("formats %q and %q share file extension %q", prev, f, ext)
+		}
+		exts[ext] = f
+	}
+	if _, err := obs.ParseFormat("nope"); err == nil || !strings.Contains(err.Error(), "jsonl") {
+		t.Errorf("unknown event-log format error does not list known names: %v", err)
 	}
 }
 

@@ -1,0 +1,395 @@
+// Package obs is the serving engine's deterministic observability layer: a
+// structured event bus on the simulated tick clock plus tick-bucketed
+// moving-window telemetry.
+//
+// The engine emits one Event per control-plane decision — arrivals,
+// admission, suspensions, faults, retries, grants, releases, per-tick batch
+// steps and shared-cache commits, and terminal finishes — always from the
+// serial engine loop, never from inside a parallel decode phase. Event
+// order is therefore the engine loop's own deterministic order: for a fixed
+// seed the full event log is bit-identical across runs, worker counts, and
+// the fused/unfused decode paths, so a trace file is a reproducible
+// artifact, not a sample.
+//
+// On top of the bus, a Recorder keeps moving-window trackers (throughput,
+// goodput, queue depth, cache hit rate, per-class SLO slack) with windows
+// measured in simulated ticks, exposed through Snapshot — the observed-stats
+// substrate the adaptive arbiter and a future /metrics endpoint consume.
+// Exporters serialize the event log as JSONL or as Chrome trace-event JSON
+// (see export.go).
+//
+// A nil *Recorder is the disabled observer: the engine guards every
+// emission site on it, so tracing off adds zero allocations and no detail
+// formatting to the tick hot path.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies an engine decision.
+type Kind int
+
+const (
+	// KindArrive: a request arrived from the workload (detail: SLO class).
+	KindArrive Kind = iota
+	// KindShed: an arrival was rejected by admission control at the door.
+	KindShed
+	// KindDegrade: a queued best-effort entry was shed by graceful
+	// degradation under sustained pressure.
+	KindDegrade
+	// KindAdmit: a fresh queue entry was admitted to a slot (detail: class).
+	KindAdmit
+	// KindResume: a suspended session was re-placed into a slot (detail:
+	// the suspension cause it returns from — preempt, fault, or dip).
+	KindResume
+	// KindGrant: the arbiter granted a cache share (detail: "share=F").
+	KindGrant
+	// KindRelease: a partitioned cache grant or greedy claim was released.
+	KindRelease
+	// KindSuspend: a running session left its slot with its stream retained
+	// (detail: preempt, fault, or dip).
+	KindSuspend
+	// KindFault: an injected fault landed on a running session (detail:
+	// step, revoke, or cancel).
+	KindFault
+	// KindRetry: a faulted session was granted a re-placement (detail:
+	// "attempt=N backoff=B").
+	KindRetry
+	// KindStepBatch: the engine advanced the active batch one tick
+	// (detail: "width=N"; Slot is -1 — a batch-level event).
+	KindStepBatch
+	// KindCommit: the tick's buffered shared-cache accesses were committed
+	// in slot order (ArbShared only; detail: "width=N").
+	KindCommit
+	// KindFinish: a session reached its terminal state (detail: the
+	// Outcome — ok, failed, or cancelled; SubStep carries the 1-based
+	// sub-quantum drain step for ok finishes).
+	KindFinish
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"arrive", "shed", "degrade", "admit", "resume", "grant", "release",
+	"suspend", "fault", "retry", "step-batch", "commit", "finish",
+}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// MarshalJSON serializes the kind as its registry name, so JSONL logs and
+// Chrome traces are self-describing.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < 0 || k >= numKinds {
+		return nil, fmt.Errorf("obs: cannot marshal unknown event kind %d", int(k))
+	}
+	return []byte(`"` + kindNames[k] + `"`), nil
+}
+
+// Detail constants for the kinds whose detail field is an enumeration; the
+// Recorder's aggregate Counts switch on these.
+const (
+	DetailPreempt   = "preempt"
+	DetailFault     = "fault"
+	DetailDip       = "dip"
+	DetailStep      = "step"
+	DetailRevoke    = "revoke"
+	DetailCancel    = "cancel"
+	DetailOK        = "ok"
+	DetailFailed    = "failed"
+	DetailCancelled = "cancelled"
+)
+
+// Event is one engine decision on the simulated tick clock.
+type Event struct {
+	// Tick is the simulated tick the decision was made on. SubStep is the
+	// 1-based sub-quantum offset within the tick where one is defined
+	// (finish events); 0 means tick granularity.
+	Tick    int `json:"tick"`
+	SubStep int `json:"substep,omitempty"`
+	// Slot is the batch slot the event concerns at the time of the event
+	// (slots compact as sessions retire), or -1 for engine-level events
+	// (arrivals, shedding, batch steps, commits).
+	Slot int `json:"slot"`
+	// Kind classifies the decision; Session names the request it concerns
+	// ("" for batch-level events); Detail carries the kind-specific
+	// qualifier documented on each Kind constant.
+	Kind    Kind   `json:"kind"`
+	Session string `json:"session,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Counts aggregates the event log by kind (and detail, where the detail is
+// an enumeration). The serving report reconciles these against its own
+// counters — see serving.Report.ReconcileObs — so silent metrics drift
+// between the event stream and the aggregate report fails loudly.
+type Counts struct {
+	Arrivals      int `json:"arrivals"`
+	ShedArrivals  int `json:"shed_arrivals"`
+	Degraded      int `json:"degraded"`
+	Admits        int `json:"admits"`
+	Resumes       int `json:"resumes"`
+	Grants        int `json:"grants"`
+	Releases      int `json:"releases"`
+	Preemptions   int `json:"preemptions"`
+	FaultSuspends int `json:"fault_suspends"`
+	DipParks      int `json:"dip_parks"`
+	StepFaults    int `json:"step_faults"`
+	Revocations   int `json:"revocations"`
+	Cancellations int `json:"cancellations"`
+	Retries       int `json:"retries"`
+	StepTicks     int `json:"step_ticks"`
+	Commits       int `json:"commits"`
+	FinishedOK    int `json:"finished_ok"`
+	Failed        int `json:"failed"`
+	Cancelled     int `json:"cancelled"`
+}
+
+// ClassSlack is one SLO class's observed deadline slack over the window.
+type ClassSlack struct {
+	Class string `json:"class"`
+	// MeanSlackTicks averages (deadline − now) over every active deadlined
+	// session-tick observed in the window; negative means the class is
+	// running past its deadlines.
+	MeanSlackTicks float64 `json:"mean_slack_ticks"`
+}
+
+// Snapshot is the moving-window view at a tick — every field derives from
+// simulated-clock observations, so snapshots are bit-identical across
+// worker counts and decode paths.
+type Snapshot struct {
+	// Tick is the snapshot instant; Window the configured width in ticks.
+	// Rates divide by the effective window min(Window, Tick+1), so early
+	// snapshots are not diluted by ticks that never happened.
+	Tick   int `json:"tick"`
+	Window int `json:"window"`
+	// TokensPerTick is decoded throughput over the window (all sessions,
+	// including work later discarded); GoodTokensPerTick counts only tokens
+	// of sessions that finished OK, credited at their finish tick.
+	TokensPerTick     float64 `json:"tokens_per_tick"`
+	GoodTokensPerTick float64 `json:"good_tokens_per_tick"`
+	// ArrivalsPerTick and FinishesPerTick are workload flow rates (finishes
+	// count every terminal outcome).
+	ArrivalsPerTick float64 `json:"arrivals_per_tick"`
+	FinishesPerTick float64 `json:"finishes_per_tick"`
+	// MeanQueueDepth averages the admission-queue depth at decode time over
+	// the window; ticks the engine fast-forwarded past count as empty.
+	MeanQueueDepth float64 `json:"mean_queue_depth"`
+	// HitRate is the window's cache hit fraction (0 with no traffic).
+	HitRate float64 `json:"hit_rate"`
+	// ClassSlack breaks observed SLO slack down per class, sorted by label;
+	// classes with no deadlined session-ticks in the window are omitted.
+	ClassSlack []ClassSlack `json:"class_slack,omitempty"`
+	// Counts aggregates the full event log since the start of the run.
+	Counts Counts `json:"counts"`
+}
+
+// DefaultWindow is the moving-window width, in simulated ticks, when the
+// Config leaves it zero.
+const DefaultWindow = 32
+
+// Config tunes a Recorder.
+type Config struct {
+	// Window is the moving-window width in simulated ticks (0 = the
+	// DefaultWindow, 32).
+	Window int
+}
+
+// Recorder collects the event log and feeds the moving-window trackers. It
+// is bound to a single engine run (NewEngine rejects reuse via Bind) and is
+// not safe for concurrent use — the engine only touches it from the serial
+// control loop, which is exactly what keeps the event order deterministic.
+type Recorder struct {
+	window int
+	bound  bool
+
+	events []Event
+	counts Counts
+
+	tokens   *Tracker
+	good     *Tracker
+	arrivals *Tracker
+	finishes *Tracker
+	queue    *Tracker
+	hits     *Tracker
+	misses   *Tracker
+
+	// Per-class slack trackers (sum and observation count), with the class
+	// list kept sorted so snapshots never depend on map iteration order.
+	slackSum map[string]*Tracker
+	slackN   map[string]*Tracker
+	classes  []string
+}
+
+// NewRecorder builds a recorder; a negative window is rejected at Bind
+// time via NewEngine's validation path, so it panics here to fail fast in
+// direct use.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Window < 0 {
+		panic(fmt.Sprintf("obs: Config.Window must be non-negative (0 = default %d), got %d", DefaultWindow, cfg.Window))
+	}
+	w := cfg.Window
+	if w == 0 {
+		w = DefaultWindow
+	}
+	return &Recorder{
+		window:   w,
+		tokens:   NewTracker(w),
+		good:     NewTracker(w),
+		arrivals: NewTracker(w),
+		finishes: NewTracker(w),
+		queue:    NewTracker(w),
+		hits:     NewTracker(w),
+		misses:   NewTracker(w),
+		slackSum: make(map[string]*Tracker),
+		slackN:   make(map[string]*Tracker),
+	}
+}
+
+// Window returns the configured moving-window width in ticks.
+func (r *Recorder) Window() int { return r.window }
+
+// Bind marks the recorder as owned by one engine run. A recorder carries
+// cumulative counts and an append-only log, so sharing one across engines
+// would silently merge two runs' telemetry; NewEngine calls Bind and
+// surfaces the error as a Config validation failure.
+func (r *Recorder) Bind() error {
+	if r.bound {
+		return fmt.Errorf("obs: recorder already bound to an engine run; build one Recorder per run")
+	}
+	r.bound = true
+	return nil
+}
+
+// Emit appends one event to the log and folds it into the aggregate counts
+// and the arrival/finish flow trackers.
+func (r *Recorder) Emit(ev Event) {
+	r.events = append(r.events, ev)
+	switch ev.Kind {
+	case KindArrive:
+		r.counts.Arrivals++
+		r.arrivals.Observe(ev.Tick, 1)
+	case KindShed:
+		r.counts.ShedArrivals++
+	case KindDegrade:
+		r.counts.Degraded++
+	case KindAdmit:
+		r.counts.Admits++
+	case KindResume:
+		r.counts.Resumes++
+	case KindGrant:
+		r.counts.Grants++
+	case KindRelease:
+		r.counts.Releases++
+	case KindSuspend:
+		switch ev.Detail {
+		case DetailPreempt:
+			r.counts.Preemptions++
+		case DetailFault:
+			r.counts.FaultSuspends++
+		case DetailDip:
+			r.counts.DipParks++
+		}
+	case KindFault:
+		switch ev.Detail {
+		case DetailStep:
+			r.counts.StepFaults++
+		case DetailRevoke:
+			r.counts.Revocations++
+		case DetailCancel:
+			r.counts.Cancellations++
+		}
+	case KindRetry:
+		r.counts.Retries++
+	case KindStepBatch:
+		r.counts.StepTicks++
+	case KindCommit:
+		r.counts.Commits++
+	case KindFinish:
+		r.finishes.Observe(ev.Tick, 1)
+		switch ev.Detail {
+		case DetailOK:
+			r.counts.FinishedOK++
+		case DetailFailed:
+			r.counts.Failed++
+		case DetailCancelled:
+			r.counts.Cancelled++
+		}
+	}
+}
+
+// ObserveDecode records one executed tick's decoded tokens and cache
+// traffic deltas.
+func (r *Recorder) ObserveDecode(tick int, tokens int, hits, misses int64) {
+	r.tokens.Observe(tick, int64(tokens))
+	r.hits.Observe(tick, hits)
+	r.misses.Observe(tick, misses)
+}
+
+// ObserveGood credits a completed session's surviving tokens at its finish
+// tick.
+func (r *Recorder) ObserveGood(tick, tokens int) {
+	r.good.Observe(tick, int64(tokens))
+}
+
+// ObserveQueue records the admission-queue depth at decode time.
+func (r *Recorder) ObserveQueue(tick, depth int) {
+	r.queue.Observe(tick, int64(depth))
+}
+
+// ObserveSlack records one active deadlined session's remaining slack
+// (deadline − now, in ticks; negative past the deadline) under its class.
+func (r *Recorder) ObserveSlack(tick int, class string, slackTicks int) {
+	sum, ok := r.slackSum[class]
+	if !ok {
+		sum = NewTracker(r.window)
+		n := NewTracker(r.window)
+		r.slackSum[class], r.slackN[class] = sum, n
+		r.classes = append(r.classes, class)
+		sort.Strings(r.classes)
+	}
+	sum.Observe(tick, int64(slackTicks))
+	r.slackN[class].Observe(tick, 1)
+}
+
+// Events returns the full event log in emission order. The slice is the
+// recorder's own backing store; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Counts returns the aggregate event counts so far.
+func (r *Recorder) Counts() Counts { return r.counts }
+
+// Snapshot assembles the moving-window view at the given tick. The engine
+// takes one at drain time and attaches it to the Report; callers holding
+// the recorder may also sample mid-run between ticks.
+func (r *Recorder) Snapshot(tick int) Snapshot {
+	s := Snapshot{Tick: tick, Window: r.window, Counts: r.counts}
+	span := float64(r.tokens.Span(tick))
+	if span > 0 {
+		s.TokensPerTick = float64(r.tokens.Sum(tick)) / span
+		s.GoodTokensPerTick = float64(r.good.Sum(tick)) / span
+		s.ArrivalsPerTick = float64(r.arrivals.Sum(tick)) / span
+		s.FinishesPerTick = float64(r.finishes.Sum(tick)) / span
+		s.MeanQueueDepth = float64(r.queue.Sum(tick)) / span
+	}
+	if h, m := r.hits.Sum(tick), r.misses.Sum(tick); h+m > 0 {
+		s.HitRate = float64(h) / float64(h+m)
+	}
+	for _, class := range r.classes {
+		n := r.slackN[class].Sum(tick)
+		if n == 0 {
+			continue
+		}
+		s.ClassSlack = append(s.ClassSlack, ClassSlack{
+			Class:          class,
+			MeanSlackTicks: float64(r.slackSum[class].Sum(tick)) / float64(n),
+		})
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTrackerTrimsTheTail(t *testing.T) {
+	tr := NewTracker(4)
+	tr.Observe(0, 10)
+	tr.Observe(1, 5)
+	if got := tr.Sum(1); got != 15 {
+		t.Fatalf("Sum(1) = %d, want 15", got)
+	}
+	// Window (0, 4]: tick 0 has aged out, tick 1 survives.
+	if got := tr.Sum(4); got != 5 {
+		t.Fatalf("Sum(4) = %d, want 5 (tick 0 outside the window)", got)
+	}
+	// Far future: every bucket is stale even though the ring still holds
+	// the old sums.
+	if got := tr.Sum(100); got != 0 {
+		t.Fatalf("Sum(100) = %d, want 0", got)
+	}
+}
+
+func TestTrackerRingReusesBucketsAcrossWraps(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Observe(0, 7)
+	tr.Observe(3, 2) // same ring index as tick 0: must reset, not add
+	if got := tr.Sum(3); got != 2 {
+		t.Fatalf("Sum(3) = %d, want 2 (tick 0's bucket must have been reset)", got)
+	}
+	tr.Observe(3, 2)
+	if got := tr.Sum(3); got != 4 {
+		t.Fatalf("repeat observations at one tick must accumulate: Sum(3) = %d, want 4", got)
+	}
+}
+
+func TestTrackerSpanClampsToElapsedTicks(t *testing.T) {
+	tr := NewTracker(32)
+	if got := tr.Span(3); got != 4 {
+		t.Fatalf("Span(3) = %d, want 4", got)
+	}
+	if got := tr.Span(100); got != 32 {
+		t.Fatalf("Span(100) = %d, want 32", got)
+	}
+}
+
+func TestRecorderCountsFollowKindAndDetail(t *testing.T) {
+	r := NewRecorder(Config{Window: 8})
+	for _, ev := range []Event{
+		{Tick: 0, Slot: -1, Kind: KindArrive, Session: "a"},
+		{Tick: 0, Slot: -1, Kind: KindShed, Session: "b"},
+		{Tick: 0, Slot: 0, Kind: KindAdmit, Session: "a"},
+		{Tick: 0, Slot: 0, Kind: KindGrant, Session: "a", Detail: "share=1"},
+		{Tick: 1, Slot: 0, Kind: KindFault, Session: "a", Detail: DetailStep},
+		{Tick: 1, Slot: 0, Kind: KindSuspend, Session: "a", Detail: DetailFault},
+		{Tick: 1, Slot: 0, Kind: KindRetry, Session: "a", Detail: "attempt=2 backoff=1"},
+		{Tick: 2, Slot: 0, Kind: KindResume, Session: "a", Detail: DetailFault},
+		{Tick: 3, Slot: -1, Kind: KindStepBatch, Detail: "width=1"},
+		{Tick: 4, SubStep: 3, Slot: 0, Kind: KindFinish, Session: "a", Detail: DetailOK},
+	} {
+		r.Emit(ev)
+	}
+	c := r.Counts()
+	want := Counts{Arrivals: 1, ShedArrivals: 1, Admits: 1, Grants: 1,
+		StepFaults: 1, FaultSuspends: 1, Retries: 1, Resumes: 1, StepTicks: 1, FinishedOK: 1}
+	if c != want {
+		t.Fatalf("Counts = %+v, want %+v", c, want)
+	}
+	if len(r.Events()) != 10 {
+		t.Fatalf("event log holds %d events, want 10", len(r.Events()))
+	}
+}
+
+func TestSnapshotRatesUseEffectiveWindow(t *testing.T) {
+	r := NewRecorder(Config{Window: 16})
+	r.ObserveDecode(0, 8, 6, 2)
+	r.ObserveDecode(1, 8, 7, 1)
+	r.ObserveQueue(0, 2)
+	r.ObserveQueue(1, 4)
+	r.ObserveSlack(0, "interactive", 10)
+	r.ObserveSlack(1, "interactive", 8)
+	r.ObserveGood(1, 16)
+	s := r.Snapshot(1)
+	if s.TokensPerTick != 8 {
+		t.Errorf("TokensPerTick = %v, want 8 (16 tokens over 2 elapsed ticks)", s.TokensPerTick)
+	}
+	if s.GoodTokensPerTick != 8 {
+		t.Errorf("GoodTokensPerTick = %v, want 8", s.GoodTokensPerTick)
+	}
+	if s.MeanQueueDepth != 3 {
+		t.Errorf("MeanQueueDepth = %v, want 3", s.MeanQueueDepth)
+	}
+	if want := 13.0 / 16.0; s.HitRate != want {
+		t.Errorf("HitRate = %v, want %v", s.HitRate, want)
+	}
+	if len(s.ClassSlack) != 1 || s.ClassSlack[0].Class != "interactive" || s.ClassSlack[0].MeanSlackTicks != 9 {
+		t.Errorf("ClassSlack = %+v, want one interactive entry at mean 9", s.ClassSlack)
+	}
+}
+
+func TestBindRejectsRecorderReuse(t *testing.T) {
+	r := NewRecorder(Config{})
+	if err := r.Bind(); err != nil {
+		t.Fatalf("first Bind: %v", err)
+	}
+	if err := r.Bind(); err == nil {
+		t.Fatal("second Bind succeeded; a recorder must be single-run")
+	}
+}
+
+func TestFormatRegistryRoundTrips(t *testing.T) {
+	for _, name := range FormatNames() {
+		got, err := ParseFormat(name)
+		if err != nil || got != name {
+			t.Errorf("format %q does not round-trip: %v", name, err)
+		}
+	}
+	if _, err := ParseFormat("nope"); err == nil || !strings.Contains(err.Error(), FormatJSONL) {
+		t.Errorf("unknown format error does not list known names: %v", err)
+	}
+}
+
+func TestWriteJSONLIsParseableAndOrdered(t *testing.T) {
+	events := []Event{
+		{Tick: 0, Slot: -1, Kind: KindArrive, Session: "a", Detail: "default"},
+		{Tick: 2, SubStep: 5, Slot: 0, Kind: KindFinish, Session: "a", Detail: DetailOK},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var got struct {
+		Tick    int    `json:"tick"`
+		SubStep int    `json:"substep"`
+		Slot    int    `json:"slot"`
+		Kind    string `json:"kind"`
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != 2 || got.SubStep != 5 || got.Slot != 0 || got.Kind != "finish" || got.Session != "a" {
+		t.Fatalf("second line decoded to %+v", got)
+	}
+}
+
+func TestChromeTraceBalancesResidencySpans(t *testing.T) {
+	events := []Event{
+		{Tick: 0, Slot: -1, Kind: KindArrive, Session: "a"},
+		{Tick: 0, Slot: 0, Kind: KindAdmit, Session: "a"},
+		{Tick: 0, Slot: 1, Kind: KindAdmit, Session: "b"},
+		{Tick: 1, Slot: -1, Kind: KindStepBatch, Detail: "width=2"},
+		{Tick: 2, Slot: 1, Kind: KindSuspend, Session: "b", Detail: DetailPreempt},
+		{Tick: 2, Slot: 1, Kind: KindAdmit, Session: "c"},
+		{Tick: 3, SubStep: 4, Slot: 0, Kind: KindFinish, Session: "a", Detail: DetailOK},
+		// "a" retired slot 0, so "b" resumes there — a different track from
+		// the one its first span lived on.
+		{Tick: 3, Slot: 0, Kind: KindResume, Session: "b", Detail: DetailPreempt},
+		{Tick: 4, SubStep: 2, Slot: 0, Kind: KindFinish, Session: "b", Detail: DetailOK},
+		{Tick: 4, Slot: 1, Kind: KindFinish, Session: "c", Detail: DetailOK},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	open := make(map[int][]string) // tid → span stack
+	counters := 0
+	for _, te := range trace.TraceEvents {
+		switch te.Ph {
+		case "B":
+			open[te.Tid] = append(open[te.Tid], te.Name)
+		case "E":
+			stack := open[te.Tid]
+			if len(stack) == 0 {
+				t.Fatalf("E event on tid %d with no open span", te.Tid)
+			}
+			open[te.Tid] = stack[:len(stack)-1]
+		case "C":
+			counters++
+		}
+	}
+	for tid, stack := range open {
+		if len(stack) > 0 {
+			t.Errorf("tid %d left spans open: %v", tid, stack)
+		}
+	}
+	if counters != 1 {
+		t.Errorf("emitted %d batch-width counter events, want 1", counters)
+	}
+}

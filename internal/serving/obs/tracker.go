@@ -1,0 +1,62 @@
+package obs
+
+// Tracker is a moving-window accumulator over the simulated tick clock:
+// one integer bucket per tick in a fixed ring, stamped with the tick it
+// belongs to. Observe is O(1) and allocation-free; Sum walks the ring once
+// and counts only buckets whose stamp falls inside (now−window, now] — the
+// trimmed-tail discipline that keeps stale buckets from leaking into a
+// window the clock has moved past (ticks the engine fast-forwarded over
+// simply have no bucket and contribute zero).
+//
+// All arithmetic is integer, so tracker output is bit-identical across
+// worker counts and decode paths by construction.
+type Tracker struct {
+	window int
+	sums   []int64
+	stamps []int
+}
+
+// NewTracker builds a tracker over a positive window of simulated ticks.
+func NewTracker(window int) *Tracker {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	t := &Tracker{window: window, sums: make([]int64, window), stamps: make([]int, window)}
+	for i := range t.stamps {
+		t.stamps[i] = -1 // no tick observed yet; tick 0 must not match
+	}
+	return t
+}
+
+// Observe adds v into the bucket for tick, resetting the bucket first if
+// the ring has wrapped past its previous owner.
+func (t *Tracker) Observe(tick int, v int64) {
+	i := tick % t.window
+	if t.stamps[i] != tick {
+		t.stamps[i] = tick
+		t.sums[i] = 0
+	}
+	t.sums[i] += v
+}
+
+// Sum totals the buckets observed in (now−window, now].
+func (t *Tracker) Sum(now int) int64 {
+	lo := now - t.window
+	var total int64
+	for i, stamp := range t.stamps {
+		if stamp > lo && stamp <= now {
+			total += t.sums[i]
+		}
+	}
+	return total
+}
+
+// Span is the effective window at now: min(window, now+1), the denominator
+// for per-tick rates — a snapshot at tick 3 of a 32-tick window averages
+// over the 4 ticks that exist, not 32.
+func (t *Tracker) Span(now int) int {
+	if now+1 < t.window {
+		return now + 1
+	}
+	return t.window
+}

@@ -35,6 +35,7 @@ package serving
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/cache"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/hwsim"
 	"repro/internal/model"
 	"repro/internal/serving/faults"
+	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 )
 
@@ -125,6 +127,19 @@ type Config struct {
 	// DegradeTicks is the sustained-pressure window before Degrade acts
 	// (default 4).
 	DegradeTicks int
+
+	// Obs attaches a structured-event recorder (see internal/serving/obs):
+	// the engine emits one event per control-plane decision — always from
+	// the serial loop, never inside a parallel decode phase — and feeds the
+	// recorder's moving-window trackers once per executed tick, then
+	// attaches the drain-time obs.Snapshot to the Report. The event log is
+	// part of the determinism contract: bit-identical across worker counts
+	// and fused/unfused decode. nil disables observability entirely; every
+	// emission site is guarded on it, so the disabled path adds zero
+	// allocations to the tick (pinned by TestDisabledObserverAddsNoTickAllocations).
+	// A recorder is single-run: NewEngine rejects one already bound to
+	// another engine.
+	Obs *obs.Recorder
 }
 
 // Session is one admitted request's live state.
@@ -219,6 +234,11 @@ type Engine struct {
 	shedCount                    int
 	pressure                     int
 
+	// obs is the optional structured-event recorder (nil = tracing off; the
+	// engine guards every emission on it so the disabled path costs nothing
+	// on the tick).
+	obs *obs.Recorder
+
 	// Per-tick scratch, reused across the run so steady-state ticks do not
 	// allocate engine-side: the fused-step batch (streams plus their
 	// sessions, for sub-quantum finish accounting) and arena, and the
@@ -283,6 +303,11 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	if cfg.DegradeTicks == 0 {
 		cfg.DegradeTicks = 4
 	}
+	if cfg.Obs != nil {
+		if err := cfg.Obs.Bind(); err != nil {
+			return nil, fmt.Errorf("serving: Config.Obs: %w", err)
+		}
+	}
 	var groups [sparsity.NumGroups]bool
 	for i, r := range reqs {
 		if r.Scheme == nil {
@@ -309,6 +334,7 @@ func NewEngine(m *model.Model, cfg Config, w Workload) (*Engine, error) {
 	}
 	e := &Engine{
 		m: m, cfg: cfg, w: w, reqs: reqs, sched: cfg.Sched, pre: cfg.Preempt, plan: plan,
+		obs:      cfg.Obs,
 		retry:    cfg.Retry.WithDefaults(),
 		sessions: make([]*Session, len(reqs)), arrived: make([]bool, len(reqs)),
 		shedArrive: make([]int, len(reqs)),
@@ -369,13 +395,17 @@ func (e *Engine) admit(qe *QueueEntry, rank, tick int) (*Session, error) {
 // over-committed cache across the suspension (a resumed run is
 // bit-identical to an uninterrupted one), and ArbShared sessions keep the
 // shared cache — only the slot was freed.
-func (e *Engine) place(qe *QueueEntry, rank *int, tick int) (*Session, error) {
+func (e *Engine) place(qe *QueueEntry, rank *int, tick, slot int) (*Session, error) {
 	if qe.Sess == nil {
 		sess, err := e.admit(qe, *rank, tick)
 		if err != nil {
 			return nil, err
 		}
 		*rank++
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindAdmit, Session: sess.ID, Detail: className(sess.SLO)})
+			e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindGrant, Session: sess.ID, Detail: shareDetail(sess.Share)})
+		}
 		return sess, nil
 	}
 	sess := qe.Sess
@@ -387,6 +417,7 @@ func (e *Engine) place(qe *QueueEntry, rank *int, tick int) (*Session, error) {
 		e.recoverTicks += delay
 		e.recoveries++
 	}
+	regranted := true
 	switch {
 	case e.cfg.Arb == ArbFairShare || e.cfg.Arb == ArbGreedy:
 		share := e.grant(sess)
@@ -397,9 +428,36 @@ func (e *Engine) place(qe *QueueEntry, rank *int, tick int) (*Session, error) {
 		// fresh one at the full over-committed budget, as at admission.
 		sess.Share = 1
 		sess.stream.Regrant(cache.NewModelCache(e.cfg.System.Policy, e.plan.Caps, e.plan.NUnits))
+	default:
+		regranted = false // exclusive/shared resume keeps its cache
 	}
 	sess.needGrant = false
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindResume, Session: sess.ID, Detail: causeDetail(sess.suspendedBy)})
+		if regranted {
+			e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindGrant, Session: sess.ID, Detail: shareDetail(sess.Share)})
+		}
+	}
 	return sess, nil
+}
+
+// shareDetail renders a grant's budget fraction for the event log; -1
+// formats shortest-round-trip, so the detail is bit-stable wherever the
+// report itself is.
+func shareDetail(share float64) string {
+	return "share=" + strconv.FormatFloat(share, 'g', -1, 64)
+}
+
+// causeDetail maps a suspension cause to its event-detail constant.
+func causeDetail(c suspendCause) string {
+	switch c {
+	case byFault:
+		return obs.DetailFault
+	case byDip:
+		return obs.DetailDip
+	default:
+		return obs.DetailPreempt
+	}
 }
 
 // suspend preempts a running session: its stream state is retained for a
@@ -408,30 +466,46 @@ func (e *Engine) place(qe *QueueEntry, rank *int, tick int) (*Session, error) {
 // the resume starts a cold cache at a fresh grant — and the session is
 // wrapped back into a queue entry carrying its original Order, ArriveTick,
 // and deadline so schedulers rank it exactly as before.
-func (e *Engine) suspend(sess *Session, tick int) *QueueEntry {
+func (e *Engine) suspend(sess *Session, tick, slot int) *QueueEntry {
 	sess.preempts++
 	e.preempts++
 	sess.suspendTick = tick
 	sess.suspendedBy = byPreempt
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindSuspend, Session: sess.ID, Detail: obs.DetailPreempt})
+	}
 	switch e.cfg.Arb {
 	case ArbFairShare, ArbGreedy:
 		e.releaseClaim(sess)
 		sess.stream.Release()
+		e.emitRelease(tick, slot, sess)
 	}
 	return e.requeue(sess, 0)
+}
+
+// emitRelease records a cache grant / greedy claim release in the event
+// log (no-op with tracing off).
+func (e *Engine) emitRelease(tick, slot int, sess *Session) {
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindRelease, Session: sess.ID})
+	}
 }
 
 // dipSuspend parks a session displaced by a capacity dip: the same retained
 // stream and cache semantics as a preemption, but it is not counted as one
 // (nothing outranked the session — its slot went away) and costs no retry
 // attempt. The session is eligible for re-placement as soon as a slot frees.
-func (e *Engine) dipSuspend(sess *Session, tick int) *QueueEntry {
+func (e *Engine) dipSuspend(sess *Session, tick, slot int) *QueueEntry {
 	sess.suspendTick = tick
 	sess.suspendedBy = byDip
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindSuspend, Session: sess.ID, Detail: obs.DetailDip})
+	}
 	switch e.cfg.Arb {
 	case ArbFairShare, ArbGreedy:
 		e.releaseClaim(sess)
 		sess.stream.Release()
+		e.emitRelease(tick, slot, sess)
 	}
 	return e.requeue(sess, 0)
 }
@@ -447,7 +521,7 @@ func (e *Engine) dipSuspend(sess *Session, tick int) *QueueEntry {
 // keeping its meter and traffic — wasted work shows up as the
 // throughput−goodput gap. Either way the session re-enters the queue with
 // its original scheduler rank, gated by the retry policy's seeded backoff.
-func (e *Engine) faultSuspend(sess *Session, tick int, destructive bool) *QueueEntry {
+func (e *Engine) faultSuspend(sess *Session, tick, slot int, destructive bool) *QueueEntry {
 	sess.faultCount++
 	if sess.attempts >= e.retry.MaxAttempts {
 		return nil
@@ -456,19 +530,29 @@ func (e *Engine) faultSuspend(sess *Session, tick int, destructive bool) *QueueE
 	e.retries++
 	sess.suspendTick = tick
 	sess.suspendedBy = byFault
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindSuspend, Session: sess.ID, Detail: obs.DetailFault})
+	}
 	if destructive {
 		e.releaseClaim(sess)
 		sess.stream.Release()
 		sess.stream.Restart()
 		sess.needGrant = e.cfg.Arb == ArbExclusive
+		e.emitRelease(tick, slot, sess)
 	} else {
 		switch e.cfg.Arb {
 		case ArbFairShare, ArbGreedy:
 			e.releaseClaim(sess)
 			sess.stream.Release()
+			e.emitRelease(tick, slot, sess)
 		}
 	}
-	return e.requeue(sess, tick+e.retry.Backoff(e.cfg.Seed, sess.Index, sess.attempts-1))
+	backoff := e.retry.Backoff(e.cfg.Seed, sess.Index, sess.attempts-1)
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindRetry, Session: sess.ID,
+			Detail: fmt.Sprintf("attempt=%d backoff=%d", sess.attempts, backoff)})
+	}
+	return e.requeue(sess, tick+backoff)
 }
 
 // requeue wraps a suspended session back into a queue entry carrying its
