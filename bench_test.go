@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/hwsim"
@@ -194,6 +195,67 @@ func BenchmarkServeUnbatched(b *testing.B) { serveBench(b, true, false) }
 // the plain fused run — observability must be cheap when on, free when off
 // (the off path is pinned to zero allocations by the serving tests).
 func BenchmarkServeObserved(b *testing.B) { serveBench(b, false, true) }
+
+// BenchmarkClusterRouted decodes the BenchmarkServeBatched workload through
+// the three-node sim-cluster instead of one engine: a skewed tenant mix
+// (three of four sessions share a tenant) placed by the least-loaded
+// router, node ticks fanned out over the worker pool. Reported tok/s is
+// aggregate decoded tokens per wall second across all replicas — the
+// cluster-path overhead (routing, per-node stepping, report rollup) is
+// priced against the single-engine runs above.
+func BenchmarkClusterRouted(b *testing.B) {
+	m := serveBenchModel()
+	const nodes = 3
+	const perNode = 8
+	const win = 32
+	rng := tensor.NewRNG(9)
+	toks := make([]int, 8192)
+	for i := range toks {
+		toks[i] = int(rng.Uint64() % uint64(m.Cfg.Vocab))
+	}
+	sys := eval.SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU, Win: win}
+	scheme := sparsity.NewDIPCA(0.5, 0.2)
+	makeReqs := func() []serving.Request {
+		reqs := make([]serving.Request, nodes*perNode)
+		for i := range reqs {
+			n := 2*win + (i%2)*win
+			tenant := fmt.Sprintf("t%d", i)
+			if i%4 != 3 {
+				tenant = "hot"
+			}
+			reqs[i] = serving.Request{
+				ID:     fmt.Sprintf("%s/s%d", tenant, i),
+				Scheme: scheme,
+				Tokens: toks[i*128 : i*128+n],
+			}
+		}
+		return reqs
+	}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodeCfgs := make([]serving.Config, nodes)
+		for n := range nodeCfgs {
+			nodeCfgs[n] = serving.Config{
+				System: sys, Arb: serving.ArbShared, MaxActive: perNode,
+				Quantum: 8, Seed: 1,
+			}
+		}
+		c, err := cluster.New(m, cluster.Config{
+			Nodes: nodeCfgs, Router: cluster.LeastLoaded(), Seed: 1,
+		}, serving.FixedBatch(makeReqs()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rep.TotalTokens
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+}
 
 // BenchmarkFig2Trends regenerates the Figure-2 trend fits.
 func BenchmarkFig2Trends(b *testing.B) {

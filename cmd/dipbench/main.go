@@ -20,14 +20,19 @@
 //	dipbench -exp chaos -small        # fault-injection grid: recovery vs baseline
 //	dipbench -serve -small -events out/ev            # one JSONL event log per grid cell
 //	dipbench -serve -small -events out/ev -events-format chrome -obs-window 64
+//	dipbench -serve -nodes 3                  # sim-cluster: 3 replica engines behind a router
+//	dipbench -serve -small -nodes 3 -router least-loaded -seed 7
+//	dipbench -serve -small -nodes 3 -drain-tick 40   # drain the last node at tick 40
 //
 // The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
 // -sched, -preempt, -arb, -fuse, -faults, -retry, -shed, -events,
-// -events-format, -obs-window) are rejected
+// -events-format, -obs-window, -nodes, -router, -drain-tick) are rejected
 // without -serve (or -exp serve / -exp chaos / -exp all), -small conflicts
 // with an explicit -scale paper, and -slo/-rate are rejected where they
 // would be ignored (trace files carry their own deadlines; only poisson has
-// a rate) — all hard errors, not silent overrides.
+// a rate) — all hard errors, not silent overrides. -nodes routes -serve to
+// the cluster scenario (router × arbitration over N replica engines with
+// drain and failover replays); -router and -drain-tick shape it.
 //
 // Every run also emits a machine-readable BENCH_results.json (per
 // experiment: wall time in ns and the headline row of each table) into -out
@@ -46,6 +51,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/parallel"
@@ -109,6 +115,9 @@ func run() int {
 		faultRate  = flag.Float64("faults", 0, "with -serve or -exp chaos: seeded fault-injection rate in [0,1] (faults.Mix; 0 = off for -serve, the default sweep for chaos)")
 		retry      = flag.Int("retry", 0, "with -serve or -exp chaos: retry budget in total attempts under fault injection (0 = engine default 3; 1 = no recovery)")
 		shed       = flag.Int("shed", 0, "with -serve or -exp chaos: admission-control queue budget (0 = no shedding; positive also enables graceful degradation)")
+		nodes      = flag.Int("nodes", 0, "with -serve: replica node count for the sim-cluster grid (setting it routes -serve to the cluster scenario; 0 = the single-engine serve grid)")
+		router     = flag.String("router", "", "with -serve -nodes N: restrict the cluster grid to one session router (hash|least-loaded|slo)")
+		drainTick  = flag.Int("drain-tick", 0, "with -serve -nodes N: tick at which the cluster drain scenario drains its last node (0 = one service time into the run)")
 		events     = flag.String("events", "", "with -serve or -exp chaos: enable event tracing and write one event log per grid cell to <PREFIX>-<cell>.<ext>")
 		eventsFmt  = flag.String("events-format", "", "with -serve or -exp chaos: event-log format (jsonl|chrome; default jsonl; needs -events)")
 		obsWindow  = flag.Int("obs-window", 0, "with -serve or -exp chaos: moving-window width in simulated ticks for windowed telemetry (0 = serving default; enables tracing)")
@@ -132,19 +141,24 @@ func run() int {
 		}
 		*exp = "serve"
 	}
+	// -nodes N turns the serving run into the sim-cluster scenario: N
+	// replica engines behind a session router instead of one engine.
+	if set["nodes"] && *exp == "serve" {
+		*exp = "cluster"
+	}
 	// The serving-only flags are hard errors outside the serving scenario —
 	// silently ignoring them would let a typo'd invocation masquerade as a
 	// reproducible run. -exp all includes the serve experiment, so the
 	// shaping flags pass through; -small stays serve-only because it forces
 	// the scale, which would rescale every other experiment too.
-	servesToo := *exp == "serve" || *exp == "chaos" || *exp == "all"
-	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed", "events", "events-format", "obs-window"} {
+	servesToo := *exp == "serve" || *exp == "chaos" || *exp == "cluster" || *exp == "all"
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed", "events", "events-format", "obs-window", "nodes", "router", "drain-tick"} {
 		if set[f] && !servesToo {
 			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenarios; add -serve (or -exp serve / -exp chaos / -exp all)\n", f)
 			return 2
 		}
 	}
-	if *small && *exp != "serve" && *exp != "chaos" {
+	if *small && *exp != "serve" && *exp != "chaos" && *exp != "cluster" {
 		fmt.Fprintln(os.Stderr, "dipbench: -small only applies to the serving scenarios; add -serve (or -exp serve / -exp chaos)")
 		return 2
 	}
@@ -223,9 +237,37 @@ func run() int {
 		// The chaos grid pins its workload (poisson) and scheduler (EDF) so
 		// the recovery comparison is apples to apples; flags that would be
 		// silently ignored are hard errors, as everywhere else.
-		for _, f := range []string{"workload", "trace", "sched", "fuse"} {
+		for _, f := range []string{"workload", "trace", "sched", "fuse", "nodes", "router", "drain-tick"} {
 			if set[f] {
-				fmt.Fprintf(os.Stderr, "dipbench: -%s does not apply to the chaos scenario (fixed poisson workload, EDF admission)\n", f)
+				fmt.Fprintf(os.Stderr, "dipbench: -%s does not apply to the chaos scenario (fixed poisson workload, EDF admission, single engine)\n", f)
+				return 2
+			}
+		}
+	}
+	if set["nodes"] && *nodes <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -nodes must be a positive replica count, got %d\n", *nodes)
+		return 2
+	}
+	if *router != "" {
+		if _, err := cluster.ParseRouter(*router); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %v\n", err)
+			return 2
+		}
+	}
+	if set["drain-tick"] && *drainTick <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -drain-tick must be a positive tick, got %d\n", *drainTick)
+		return 2
+	}
+	if set["drain-tick"] && set["nodes"] && *nodes == 1 {
+		fmt.Fprintln(os.Stderr, "dipbench: -drain-tick needs at least two nodes (a one-node cluster has nowhere to migrate the drained queue)")
+		return 2
+	}
+	if *exp == "cluster" {
+		// The cluster grid pins its workload (poisson), scheduler (EDF), and
+		// fault plan (the scripted node failure) the same way.
+		for _, f := range []string{"workload", "trace", "sched", "preempt", "faults", "retry", "shed"} {
+			if set[f] {
+				fmt.Fprintf(os.Stderr, "dipbench: -%s does not apply to the cluster scenario (fixed poisson workload, EDF admission, scripted node failures)\n", f)
 				return 2
 			}
 		}
@@ -303,6 +345,9 @@ func run() int {
 	lab.ServeEvents = *events
 	lab.ServeEventsFormat = *eventsFmt
 	lab.ServeObsWindow = *obsWindow
+	lab.ServeNodes = *nodes
+	lab.ServeRouter = *router
+	lab.ServeDrainTick = *drainTick
 	if *verbose {
 		lab.Log = os.Stderr
 	}

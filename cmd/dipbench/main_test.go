@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/serving"
 	"repro/internal/serving/obs"
 )
@@ -166,6 +167,7 @@ func TestFlagUsageEnumerationsMatchServingRegistries(t *testing.T) {
 	check("preempt", pres)
 	check("arb", arbs)
 	check("events-format", obs.FormatNames())
+	check("router", cluster.RouterNames())
 	// The robustness flags reach the chaos scenario too; their usage must
 	// say so, since the guard error message points users at it.
 	for _, f := range []string{"faults", "retry", "shed"} {

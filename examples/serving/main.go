@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/eval"
 	"repro/internal/hwsim"
@@ -293,4 +294,108 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("  Chrome trace written to %s — open it at https://ui.perfetto.dev\n", tracePath)
+
+	// 8. Scale-out: the sim-cluster runs replica engines on one shared tick
+	//    clock behind a session router. This trace is tenant-skewed — six
+	//    of nine sessions belong to one "hot" tenant, and the router's
+	//    affinity key is the ID prefix before '/' — so consistent hashing
+	//    hot-spots one node while least-loaded spreads the same trace.
+	//    Every cluster metric runs on the tick clock; reports and merged
+	//    event logs are bit-identical across worker counts and decode
+	//    paths.
+	fmt.Println("\n== sim-cluster: hash vs least-loaded routing on a skewed-tenant trace ==")
+	creqs := make([]serving.Request, 9)
+	for i := range creqs {
+		n := 192 + (i%3)*64
+		tenant := fmt.Sprintf("t%d", i)
+		if i%3 != 2 {
+			tenant = "hot"
+		}
+		slo := serving.SLO{Class: "batch"}
+		if i%2 == 0 {
+			slo = serving.SLO{Class: "interactive", Priority: 2, DeadlineTicks: 160}
+		}
+		creqs[i] = serving.Request{
+			ID:     fmt.Sprintf("%s/s%d", tenant, i),
+			Scheme: sparsity.NewDIPCA(0.5, 0.2),
+			Tokens: test[i*256 : i*256+n],
+			SLO:    slo,
+		}
+	}
+	nodeCfg := serving.Config{
+		System: sys, Arb: serving.ArbShared, Sched: serving.EDF(),
+		MaxActive: 2, Quantum: 8, Seed: 42,
+	}
+	for _, router := range []cluster.Router{cluster.ConsistentHash(), cluster.LeastLoaded()} {
+		workload, err := serving.PoissonArrivals(creqs, 0.25, 777)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := cluster.New(m, cluster.Config{
+			Nodes:  []serving.Config{nodeCfg, nodeCfg, nodeCfg},
+			Router: router, Seed: 7,
+		}, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crep, err := cl.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  router=%-12s placements %v  imbalance %.2f  SLO attainment %.2f  queue p99 %3.0f t\n",
+			crep.Router, crep.Placements, crep.Imbalance, crep.SLOAttainRate, crep.QueueP99)
+	}
+
+	//    Lifecycle: the same trace again, now with node 2 administratively
+	//    drained at tick 16 (placements stop, queued work re-routes, active
+	//    sessions finish locally) and node 0 failing at tick 24 — its live
+	//    sessions are suspended and migrate to survivors with their stream
+	//    and cache state carried through the same Release/Regrant hooks
+	//    preemption uses, then resume where they stopped.
+	workload, err = serving.PoissonArrivals(creqs, 0.25, 777)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cluster.New(m, cluster.Config{
+		Nodes:     []serving.Config{nodeCfg, nodeCfg, nodeCfg},
+		Router:    cluster.LeastLoaded(),
+		Seed:      7,
+		DrainTick: 16, DrainNode: 2,
+		Failures:  []cluster.Failure{{Node: 0, Tick: 24, Ticks: 96}},
+		Obs:       &obs.Config{Window: 32},
+	}, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crep, err := cl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The merged per-node event log must balance the rolled-up report —
+	// per-node books can't (a migrant admits on its source and finishes on
+	// its target), but the cluster-wide sums must.
+	if err := crep.ReconcileObs(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drain+failover: drains %d  failures %d  live migrations %d  requeues %d  mean migrant wait %.1f t\n",
+		crep.Drains, crep.Failures, crep.Migrations, crep.Requeues, crep.MeanMigrantWait)
+	okSessions := 0
+	for _, nr := range crep.Nodes {
+		state := "survivor"
+		if nr.Drained {
+			state = "drained"
+		}
+		if nr.FailedTicks > 0 {
+			state = fmt.Sprintf("failed %d t", nr.FailedTicks)
+		}
+		fmt.Printf("    node %d  %-11s placements %d  finished %d session(s)  %.3f sim tok/s\n",
+			nr.Node, state, nr.Placements, len(nr.Report.Sessions), nr.Report.SimTokS)
+		for _, sm := range nr.Report.Sessions {
+			if sm.Outcome == serving.OutcomeOK {
+				okSessions++
+			}
+		}
+	}
+	fmt.Printf("  %d/%d sessions finished OK; %d events merged across nodes (each stamped with its node)\n",
+		okSessions, crep.Sessions, len(cl.Events()))
 }

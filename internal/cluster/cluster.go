@@ -1,0 +1,411 @@
+// Package cluster is the deterministic simulated cluster: N replica
+// serving.Engines on one shared tick clock behind a pluggable session
+// Router, with per-node configs (heterogeneous cache budgets, schedulers,
+// arbitration), node lifecycle — administrative drain and fault-injected
+// node failure with failover — and a cluster-level Report that rolls up
+// the per-node reports plus router metrics.
+//
+// The control plane is serial and runs on tick boundaries in node order:
+// same-tick arrivals are shuffled by the cluster's seeded RNG and routed
+// one at a time (each placement sees the loads left by the previous one),
+// lifecycle transitions fire before routing so a draining or failed node
+// never receives new work, and migrants are re-placed through the same
+// router. Only the node decode ticks fan out over internal/parallel, with
+// results collected in node index order, so the whole cluster — the
+// rolled-up Report and the merged per-node event logs — is bit-identical
+// across worker counts, fused/unfused decode, and REPRO_PROCS.
+//
+// Failover moves live state: a failing node parks its active sessions
+// through the capacity-dip suspension machinery, then every queued entry
+// — suspended streams included — migrates to surviving nodes, carrying
+// private cache state through the eval.Stream Release/Regrant hooks (the
+// simulated analogue of shipping KV/cache state with the session). A
+// migrated exclusive-arbitration session is therefore bit-identical to an
+// uninterrupted solo run, the same invariant the single engine holds for
+// preemption.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/serving"
+	"repro/internal/serving/obs"
+	"repro/internal/tensor"
+)
+
+// Failure schedules a fault-injected node outage: at Tick the node parks
+// its batch (capacity dip), evacuates its queue to surviving nodes, and
+// stays unroutable for Ticks ticks.
+type Failure struct {
+	Node, Tick, Ticks int
+}
+
+// Config tunes the cluster.
+type Config struct {
+	// Nodes carries one serving.Config per replica; heterogeneous budgets,
+	// schedulers, and arbitration are allowed. Node Obs recorders must be
+	// nil — the cluster owns per-node recorders (see Obs).
+	Nodes []serving.Config
+	// Router places arrivals and migrants (nil = ConsistentHash).
+	Router Router
+	// Seed drives the cluster's same-tick arrival shuffle.
+	Seed uint64
+	// DrainTick > 0 administratively drains DrainNode at that tick: the
+	// node stops receiving placements, its queue migrates, and its active
+	// sessions decode to completion locally. Requires at least two nodes.
+	DrainTick int
+	DrainNode int
+	// Failures schedules node outages (see Failure). Requires ≥ 2 nodes.
+	Failures []Failure
+	// Obs, when non-nil, attaches one recorder per node; the cluster report
+	// then carries the merged event counts and Events() returns the k-way
+	// merged per-node logs.
+	Obs *obs.Config
+}
+
+// Cluster drives N replica engines on one shared tick clock.
+type Cluster struct {
+	cfg    Config
+	w      serving.Workload
+	reqs   []serving.Request
+	router Router
+	nodes  []*serving.Engine
+	recs   []*obs.Recorder // per node; nil entries with Obs unset
+
+	drained     []bool
+	failedUntil []int // node is unroutable while tick < failedUntil[node]
+	failTicks   []int // per node: total outage ticks consumed
+	fconsumed   []bool
+	placements  []int
+	migrated    map[int]bool // request indices that crossed nodes
+	migrations  int          // suspended-session migrations (fresh re-routes excluded)
+	requeues    int          // fresh queue entries re-routed by drain/failover
+	drains      int
+	failures    int
+	order       int
+	ran         bool
+
+	cand    []int
+	loads   []Load
+	shuffle []int
+}
+
+// New validates the topology and builds one engine per node against the
+// shared workload. Every engine plans the full request universe, so a
+// session can migrate to any node and keep its pricing.
+func New(m *model.Model, cfg Config, w serving.Workload) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.Router == nil {
+		cfg.Router = ConsistentHash()
+	}
+	if cfg.DrainTick < 0 {
+		return nil, fmt.Errorf("cluster: negative drain tick %d", cfg.DrainTick)
+	}
+	if cfg.DrainTick > 0 {
+		if len(cfg.Nodes) < 2 {
+			return nil, fmt.Errorf("cluster: draining needs at least 2 nodes, have %d", len(cfg.Nodes))
+		}
+		if cfg.DrainNode < 0 || cfg.DrainNode >= len(cfg.Nodes) {
+			return nil, fmt.Errorf("cluster: drain node %d outside the %d-node cluster", cfg.DrainNode, len(cfg.Nodes))
+		}
+	}
+	for _, f := range cfg.Failures {
+		if len(cfg.Nodes) < 2 {
+			return nil, fmt.Errorf("cluster: failover needs at least 2 nodes, have %d", len(cfg.Nodes))
+		}
+		if f.Node < 0 || f.Node >= len(cfg.Nodes) {
+			return nil, fmt.Errorf("cluster: failure node %d outside the %d-node cluster", f.Node, len(cfg.Nodes))
+		}
+		if f.Tick < 0 || f.Ticks <= 0 {
+			return nil, fmt.Errorf("cluster: failure at tick %d for %d ticks is not a future outage", f.Tick, f.Ticks)
+		}
+	}
+	if cfg.DrainTick > 0 || len(cfg.Failures) > 0 {
+		// Migration moves live streams between nodes, and a stream's
+		// deferred-commit mode is fixed at construction: shared and
+		// partitioned arbitration cannot exchange sessions.
+		shared := cfg.Nodes[0].Arb == serving.ArbShared
+		for i, nc := range cfg.Nodes[1:] {
+			if (nc.Arb == serving.ArbShared) != shared {
+				return nil, fmt.Errorf("cluster: node %d mixes shared and partitioned arbitration; migration cannot cross that boundary", i+1)
+			}
+		}
+	}
+	c := &Cluster{
+		cfg: cfg, w: w, reqs: w.Requests(), router: cfg.Router,
+		nodes:       make([]*serving.Engine, len(cfg.Nodes)),
+		recs:        make([]*obs.Recorder, len(cfg.Nodes)),
+		drained:     make([]bool, len(cfg.Nodes)),
+		failedUntil: make([]int, len(cfg.Nodes)),
+		failTicks:   make([]int, len(cfg.Nodes)),
+		fconsumed:   make([]bool, len(cfg.Failures)),
+		placements:  make([]int, len(cfg.Nodes)),
+		migrated:    map[int]bool{},
+		loads:       make([]Load, len(cfg.Nodes)),
+	}
+	for i, nc := range cfg.Nodes {
+		if nc.Obs != nil {
+			return nil, fmt.Errorf("cluster: node %d carries its own recorder; set Config.Obs instead", i)
+		}
+		if cfg.Obs != nil {
+			c.recs[i] = obs.NewRecorder(*cfg.Obs)
+			nc.Obs = c.recs[i]
+		}
+		e, err := serving.NewEngine(m, nc, w)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes[i] = e
+	}
+	return c, nil
+}
+
+// Nodes returns the number of replicas.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Events returns the merged per-node event logs (nil without Config.Obs):
+// each event stamped with its node, interleaved by (tick, node) with
+// intra-node order preserved — see obs.MergeEvents.
+func (c *Cluster) Events() []obs.Event {
+	if c.cfg.Obs == nil {
+		return nil
+	}
+	logs := make([][]obs.Event, len(c.recs))
+	for i, r := range c.recs {
+		logs[i] = r.Events()
+	}
+	return obs.MergeEvents(logs...)
+}
+
+// routable collects the nodes accepting placements at tick, in ascending
+// node order.
+func (c *Cluster) routable(tick int) []int {
+	c.cand = c.cand[:0]
+	for n := range c.nodes {
+		if c.drained[n] || tick < c.failedUntil[n] {
+			continue
+		}
+		c.cand = append(c.cand, n)
+	}
+	return c.cand
+}
+
+// refreshLoads snapshots every node's load signal for the router.
+func (c *Cluster) refreshLoads() []Load {
+	for n, e := range c.nodes {
+		c.loads[n] = Load{Queued: e.QueueDepth(), Active: e.ActiveCount(), Slots: e.Slots()}
+	}
+	return c.loads
+}
+
+// route picks the node for one request among the currently routable nodes.
+func (c *Cluster) route(req serving.Request, tick int) (int, error) {
+	cand := c.routable(tick)
+	if len(cand) == 0 {
+		return 0, fmt.Errorf("cluster: no routable node at tick %d (all drained or failed)", tick)
+	}
+	n := c.router.Route(req, cand, c.refreshLoads())
+	for _, ok := range cand {
+		if n == ok {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: router %q placed %q on unroutable node %d", c.router.Name(), req.ID, n)
+}
+
+// migrate re-places extracted queue entries on surviving nodes, one at a
+// time through the router (each placement sees the loads the previous one
+// left). The source is already marked drained or failed, so it is not a
+// candidate. Suspended-session migrants count toward the migration metric;
+// fresh entries are just re-routed paperwork.
+func (c *Cluster) migrate(migs []*serving.Migrant, tick int) error {
+	for _, mig := range migs {
+		node, err := c.route(mig.Entry.Req, tick)
+		if err != nil {
+			return fmt.Errorf("cluster: migrating %q: %w", mig.Entry.Req.ID, err)
+		}
+		if err := c.nodes[node].Accept(mig, tick); err != nil {
+			return err
+		}
+		if mig.Entry.Sess != nil {
+			c.migrations++
+			c.migrated[mig.Entry.Index] = true
+		} else {
+			c.requeues++
+		}
+	}
+	return nil
+}
+
+// lifecycle applies drain and failure transitions due at tick, in node
+// order, before any routing: a node entering drain or an outage never
+// receives that tick's arrivals, and its migrants re-route to survivors.
+func (c *Cluster) lifecycle(tick int) error {
+	for n := range c.nodes {
+		if c.cfg.DrainTick > 0 && n == c.cfg.DrainNode && !c.drained[n] && tick >= c.cfg.DrainTick {
+			c.drained[n] = true
+			c.drains++
+			if err := c.migrate(c.nodes[n].ExtractQueue(tick), tick); err != nil {
+				return err
+			}
+		}
+		for fi, f := range c.cfg.Failures {
+			if f.Node != n || c.fconsumed[fi] || tick < f.Tick || tick >= f.Tick+f.Ticks {
+				continue
+			}
+			c.fconsumed[fi] = true
+			c.failures++
+			c.failTicks[n] += f.Ticks
+			if f.Tick+f.Ticks > c.failedUntil[n] {
+				c.failedUntil[n] = f.Tick + f.Ticks
+			}
+			if err := c.migrate(c.nodes[n].Evacuate(tick), tick); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// nextLifecycle reports the earliest future lifecycle boundary the clock
+// must not skip: a pending drain or an unconsumed failure onset.
+func (c *Cluster) nextLifecycle(tick int) (next int, ok bool) {
+	if c.cfg.DrainTick > tick && !c.drained[c.cfg.DrainNode] {
+		next, ok = c.cfg.DrainTick, true
+	}
+	for fi, f := range c.cfg.Failures {
+		if !c.fconsumed[fi] && f.Tick > tick && (!ok || f.Tick < next) {
+			next, ok = f.Tick, true
+		}
+	}
+	return next, ok
+}
+
+// Run drains the workload across the cluster and returns the rolled-up
+// report. The loop mirrors a single engine's: lifecycle, then routed
+// arrivals, then one parallel node tick with index-ordered collection,
+// then either a clock increment or a fast-forward to the next event.
+func (c *Cluster) Run() (*Report, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: cluster already ran")
+	}
+	c.ran = true
+	wallStart := time.Now()
+	for _, e := range c.nodes {
+		if err := e.Begin(); err != nil {
+			return nil, err
+		}
+	}
+	rng := tensor.NewRNG(c.cfg.Seed)
+	var finished []serving.Finished
+	type stepResult struct {
+		fin     []serving.Finished
+		stepped bool
+		err     error
+	}
+	steps := make([]stepResult, len(c.nodes))
+	tick := 0
+	for !c.w.Done() || c.busy() {
+		if err := c.lifecycle(tick); err != nil {
+			return nil, err
+		}
+		arrivals := c.w.Next(tick, finished)
+		finished = finished[:0]
+		if len(arrivals) > 1 {
+			perm := rng.Perm(len(arrivals))
+			c.shuffle = c.shuffle[:0]
+			for _, j := range perm {
+				c.shuffle = append(c.shuffle, arrivals[j])
+			}
+			arrivals = c.shuffle
+		}
+		for _, idx := range arrivals {
+			if idx < 0 || idx >= len(c.reqs) {
+				return nil, fmt.Errorf("cluster: workload %q yielded request index %d outside its %d-request universe",
+					c.w.Name(), idx, len(c.reqs))
+			}
+			node, err := c.route(c.reqs[idx], tick)
+			if err != nil {
+				return nil, err
+			}
+			shed, err := c.nodes[node].Inject(idx, tick, c.order)
+			if err != nil {
+				return nil, err
+			}
+			if shed {
+				finished = append(finished, serving.Finished{Index: idx, ID: c.reqs[idx].ID, Tick: tick})
+			} else {
+				c.order++
+				c.placements[node]++
+			}
+		}
+		// One cluster tick: every node steps concurrently — node state is
+		// disjoint and recorders are per-node — and results are collected
+		// in node index order, so the merged outcome is order-independent
+		// of the worker pool.
+		parallel.For(len(c.nodes), 1, func(lo, hi int) {
+			for n := lo; n < hi; n++ {
+				fin, stepped, err := c.nodes[n].StepTick(tick)
+				steps[n] = stepResult{fin: fin, stepped: stepped, err: err}
+			}
+		})
+		stepped := false
+		for n := range steps {
+			if steps[n].err != nil {
+				return nil, fmt.Errorf("cluster: node %d: %w", n, steps[n].err)
+			}
+			finished = append(finished, steps[n].fin...)
+			stepped = stepped || steps[n].stepped
+		}
+		if !stepped {
+			next, ok := c.w.NextArrival()
+			if ok && next <= tick {
+				ok = false
+			}
+			for _, e := range c.nodes {
+				if nt, nok := e.NextEvent(tick); nok && (!ok || nt < next) {
+					next, ok = nt, true
+				}
+			}
+			if nt, nok := c.nextLifecycle(tick); nok && (!ok || nt < next) {
+				next, ok = nt, true
+			}
+			if len(finished) > 0 && (!ok || tick+1 < next) {
+				next, ok = tick+1, true
+			}
+			if !ok {
+				if c.w.Done() && c.queued() == 0 {
+					break
+				}
+				return nil, fmt.Errorf("cluster: workload %q stalled at tick %d: not done, nothing active, next arrival %d (ok=%v)",
+					c.w.Name(), tick, next, ok)
+			}
+			tick = next
+			continue
+		}
+		tick++
+	}
+	return c.report(tick, time.Since(wallStart)), nil
+}
+
+func (c *Cluster) busy() bool {
+	for _, e := range c.nodes {
+		if e.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) queued() int {
+	total := 0
+	for _, e := range c.nodes {
+		total += e.QueueDepth()
+	}
+	return total
+}

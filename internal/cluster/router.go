@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/serving"
+)
+
+// Load is one node's placement signal at routing time.
+type Load struct {
+	// Queued is the node's admission-queue depth; Active its occupied batch
+	// slots; Slots its configured batch width.
+	Queued, Active, Slots int
+}
+
+// Router places arrivals (and failover migrants) on nodes. Route receives
+// the request, the routable candidate node indices in ascending order
+// (never empty — drained and failed nodes are already excluded), and every
+// node's current Load, and returns one of the candidates. Implementations
+// must be pure functions of their arguments — no internal mutable state —
+// so placement is deterministic and replayable for a fixed trace.
+type Router interface {
+	Name() string
+	Route(req serving.Request, cand []int, loads []Load) int
+}
+
+// RouterNames lists the built-in routing policies, in the order ParseRouter
+// documents them.
+func RouterNames() []string { return []string{"hash", "least-loaded", "slo"} }
+
+// ParseRouter resolves a dipbench -router name.
+func ParseRouter(name string) (Router, error) {
+	switch name {
+	case "hash":
+		return ConsistentHash(), nil
+	case "least-loaded":
+		return LeastLoaded(), nil
+	case "slo":
+		return SLOAware(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown router %q (hash|least-loaded|slo)", name)
+}
+
+// tenantKey is the session-affinity key: the request ID's tenant prefix
+// (everything before the first '/'), or the whole ID when it has none. All
+// of one tenant's sessions hash identically, so a skewed tenant mix
+// hot-spots a node under hash routing — exactly the pathology the
+// least-loaded and SLO-aware routers exist to avoid.
+func tenantKey(req serving.Request) string {
+	if i := strings.IndexByte(req.ID, '/'); i >= 0 {
+		return req.ID[:i]
+	}
+	return req.ID
+}
+
+func hash64(s string, node, replica int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", s, node, replica)
+	return h.Sum64()
+}
+
+// consistentHash places by session affinity on a virtual-node ring: each
+// candidate node owns vnodeReplicas ring points, the key hashes to a ring
+// position, and the nearest point clockwise wins. Ring points depend only
+// on (node, replica), so removing a node (drain, failure) remaps only the
+// keys it owned — the consistent-hashing property — and the lookup is a
+// pure scan over candidates, no precomputed state.
+type consistentHash struct{}
+
+const vnodeReplicas = 16
+
+// ConsistentHash returns the session-affinity router ("hash").
+func ConsistentHash() Router { return consistentHash{} }
+
+func (consistentHash) Name() string { return "hash" }
+
+func (consistentHash) Route(req serving.Request, cand []int, loads []Load) int {
+	key := hash64(tenantKey(req), 0, 0)
+	best, bestDist := cand[0], ^uint64(0)
+	for _, n := range cand {
+		for r := 0; r < vnodeReplicas; r++ {
+			dist := hash64("vnode", n, r) - key // clockwise distance, mod 2^64
+			if dist < bestDist {
+				best, bestDist = n, dist
+			}
+		}
+	}
+	return best
+}
+
+// leastLoaded places on the candidate with the fewest held sessions
+// (queue depth + active slots), lowest index on ties.
+type leastLoaded struct{}
+
+// LeastLoaded returns the load-balancing router ("least-loaded").
+func LeastLoaded() Router { return leastLoaded{} }
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Route(req serving.Request, cand []int, loads []Load) int {
+	return minLoad(cand, loads)
+}
+
+func minLoad(cand []int, loads []Load) int {
+	best := cand[0]
+	for _, n := range cand[1:] {
+		if loads[n].Queued+loads[n].Active < loads[best].Queued+loads[best].Active {
+			best = n
+		}
+	}
+	return best
+}
+
+// sloAware reserves capacity for interactive work: deadline-less (batch)
+// requests are load-balanced across every candidate except the reserved
+// one — the lowest-indexed routable node — which only deadlined requests
+// may use. With one candidate left the reservation vanishes. Deadlined
+// requests load-balance over all candidates, so under a batch-heavy mix
+// the reserved node's slots stay free for the latency-sensitive class.
+type sloAware struct{}
+
+// SLOAware returns the capacity-reserving router ("slo").
+func SLOAware() Router { return sloAware{} }
+
+func (sloAware) Name() string { return "slo" }
+
+func (sloAware) Route(req serving.Request, cand []int, loads []Load) int {
+	if req.SLO.DeadlineTicks > 0 || len(cand) == 1 {
+		return minLoad(cand, loads)
+	}
+	return minLoad(cand[1:], loads)
+}

@@ -337,6 +337,13 @@ func (st *Stream) TotalTokens() int { return st.total }
 // Cache returns the cache the stream is coupled to.
 func (st *Stream) Cache() *cache.ModelCache { return st.mc }
 
+// Deferred reports whether the stream buffers cache accesses for an
+// explicit Commit (the shared-cache mode, fixed at construction). Callers
+// moving a stream between owners — e.g. a cluster migrating a session —
+// use this to check grant compatibility: a deferred stream can only ever
+// be re-granted a shared cache, an undeferred one a private cache.
+func (st *Stream) Deferred() bool { return st.deferred }
+
 // Traffic returns this stream's cumulative cache traffic in units. Unlike
 // the cache's own totals, these stay per-stream when the cache is shared.
 func (st *Stream) Traffic() (hits, misses int64) { return st.hits, st.misses }

@@ -284,8 +284,8 @@ func TestFig9Composes(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(IDs()) != 20 {
-		t.Fatalf("expected 20 experiments, got %d: %v", len(IDs()), IDs())
+	if len(IDs()) != 21 {
+		t.Fatalf("expected 21 experiments, got %d: %v", len(IDs()), IDs())
 	}
 	if _, err := Run(sharedLab, "nope"); err == nil {
 		t.Fatal("unknown id should error")

@@ -98,6 +98,17 @@ type Lab struct {
 	// package default). A positive width enables tracing even without
 	// ServeEvents, surfacing the snapshot on each cell's report.
 	ServeObsWindow int
+	// ServeNodes restricts the cluster scenario to one replica count
+	// (dipbench -nodes; 0 sweeps 1 and 3). Setting it on dipbench also
+	// routes -serve to the cluster grid.
+	ServeNodes int
+	// ServeRouter restricts the cluster grid to one routing policy
+	// (dipbench -router: hash|least-loaded|slo; "" sweeps all).
+	ServeRouter string
+	// ServeDrainTick overrides the tick at which the cluster drain scenario
+	// drains its last node (dipbench -drain-tick; 0 = one service time into
+	// the run).
+	ServeDrainTick int
 
 	tok    *data.Tokenizer
 	splits data.Splits

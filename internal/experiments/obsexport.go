@@ -14,13 +14,11 @@ import (
 func (l *Lab) obsTracing() bool { return l.ServeEvents != "" || l.ServeObsWindow > 0 }
 
 // obsRecorder builds a fresh recorder for one grid cell. Recorders are
-// single-run (Bind rejects reuse), so every engine gets its own. Returns
-// nil — tracing off, the engine's zero-overhead path — when the lab has no
-// observability flags set.
+// single-run (Bind rejects reuse), so every engine gets its own. Tracing is
+// always on for grid cells — every cell's report gets reconciled against
+// its event log, whether or not the user asked for exports — while the
+// extra telemetry columns and per-cell log files stay gated on obsTracing.
 func (l *Lab) obsRecorder() *obs.Recorder {
-	if !l.obsTracing() {
-		return nil
-	}
 	return obs.NewRecorder(obs.Config{Window: l.ServeObsWindow})
 }
 
@@ -36,7 +34,17 @@ func (l *Lab) obsFormat() (string, error) {
 // <ServeEvents>-<cell>.<ext>, creating parent directories as needed. A nil
 // recorder or an unset -events prefix is a no-op.
 func (l *Lab) writeCellEvents(cell string, rec *obs.Recorder) error {
-	if l.ServeEvents == "" || rec == nil {
+	if rec == nil {
+		return nil
+	}
+	return l.writeCellEventLog(cell, rec.Events())
+}
+
+// writeCellEventLog is writeCellEvents for a pre-merged event slice — the
+// cluster scenario's node logs arrive already merged onto the shared tick
+// timeline rather than inside one recorder.
+func (l *Lab) writeCellEventLog(cell string, events []obs.Event) error {
+	if l.ServeEvents == "" {
 		return nil
 	}
 	format, err := l.obsFormat()
@@ -53,7 +61,7 @@ func (l *Lab) writeCellEvents(cell string, rec *obs.Recorder) error {
 	if err != nil {
 		return err
 	}
-	if err := obs.Export(f, format, rec.Events()); err != nil {
+	if err := obs.Export(f, format, events); err != nil {
 		f.Close()
 		return err
 	}

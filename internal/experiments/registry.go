@@ -27,6 +27,7 @@ var registry = map[string]Driver{
 	"abl-alloc": AblAlloc,
 	"serve":     Serve,
 	"chaos":     Chaos,
+	"cluster":   ClusterServe,
 }
 
 // IDs lists the registered experiment ids in sorted order.

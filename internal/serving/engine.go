@@ -7,7 +7,6 @@ import (
 	"repro/internal/eval"
 	"repro/internal/parallel"
 	"repro/internal/serving/obs"
-	"repro/internal/tensor"
 )
 
 // Run drains the workload to completion under continuous batching and
@@ -26,194 +25,31 @@ import (
 // bit-identical across runs and worker counts; only the Wall annotation
 // varies.
 func (e *Engine) Run() (*Report, error) {
-	if e.ran {
-		return nil, fmt.Errorf("serving: engine already ran")
+	if err := e.Begin(); err != nil {
+		return nil, err
 	}
-	e.ran = true
-	rng := tensor.NewRNG(e.cfg.Seed)
-	var queue []*QueueEntry
 	var finished []Finished
-	active := make([]*Session, 0, e.cfg.MaxActive)
-	e.wallStart = time.Now()
-	tick, rank, order := 0, 0, 0
-	for !e.w.Done() || len(queue) > 0 || len(active) > 0 {
+	tick := 0
+	for !e.w.Done() || len(e.queue) > 0 || len(e.active) > 0 {
 		arrivals := e.w.Next(tick, finished)
 		finished = finished[:0]
-		if len(arrivals) > 1 {
-			perm := rng.Perm(len(arrivals))
-			e.shuffle = e.shuffle[:0]
-			for _, j := range perm {
-				e.shuffle = append(e.shuffle, arrivals[j])
+		for _, idx := range e.shuffleArrivals(arrivals) {
+			shed, err := e.Inject(idx, tick, e.order)
+			if err != nil {
+				return nil, err
 			}
-			arrivals = e.shuffle
-		}
-		for _, idx := range arrivals {
-			if idx < 0 || idx >= len(e.reqs) {
-				return nil, fmt.Errorf("serving: workload %q yielded request index %d outside its %d-request universe",
-					e.w.Name(), idx, len(e.reqs))
-			}
-			if e.arrived[idx] {
-				return nil, fmt.Errorf("serving: workload %q yielded request %d (%q) twice", e.w.Name(), idx, e.reqs[idx].ID)
-			}
-			e.arrived[idx] = true
-			if e.obs != nil {
-				e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindArrive,
-					Session: e.reqs[idx].ID, Detail: className(e.reqs[idx].SLO)})
-			}
-			if e.cfg.ShedQueueBudget > 0 && len(queue) >= e.cfg.ShedQueueBudget {
-				// Admission control: the queue is at budget, so the arrival
-				// is shed outright — it never holds a slot, never decodes,
-				// and reports back to the workload as finished next tick.
-				e.shedArrive[idx], e.shedTick[idx] = tick, tick
-				e.shedCount++
-				if e.obs != nil {
-					e.obs.Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindShed, Session: e.reqs[idx].ID})
-				}
+			if shed {
 				finished = append(finished, Finished{Index: idx, ID: e.reqs[idx].ID, Tick: tick})
-				continue
-			}
-			queue = append(queue, &QueueEntry{
-				Req: e.reqs[idx], Index: idx, ArriveTick: tick, Order: order,
-				Deadline: deadlineOf(tick, e.reqs[idx].SLO),
-			})
-			order++
-		}
-		if e.cfg.Degrade {
-			if len(queue) >= e.cfg.ShedQueueBudget {
-				e.pressure++
 			} else {
-				e.pressure = 0
-			}
-			if e.pressure >= e.cfg.DegradeTicks {
-				queue = e.degrade(queue, tick, &finished)
+				e.order++
 			}
 		}
-		// Fault application, in slot order on the batch as of tick start, so
-		// decisions are pure functions of (seed, tick, slot) and the chaos
-		// schedule commutes with worker count and decode-path choice.
-		offline := 0
-		if e.cfg.Faults != nil {
-			if offline = e.cfg.Faults.Offline(tick); offline < 0 {
-				offline = 0
-			}
-			if offline > e.cfg.MaxActive {
-				offline = e.cfg.MaxActive
-			}
-			if offline > 0 && (len(active) > 0 || len(queue) > 0) {
-				e.dipSlotTicks += offline
-			}
-			live := active[:0]
-			for slot, s := range active {
-				switch {
-				case e.cfg.Faults.Cancel(tick, slot):
-					e.cancels++
-					if e.obs != nil {
-						e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindFault, Session: s.ID, Detail: obs.DetailCancel})
-					}
-					e.finish(s, tick, OutcomeCancelled)
-					e.emitFinish(tick, slot, s)
-					finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
-				case e.cfg.Faults.Revoke(tick, slot) && e.cfg.Arb != ArbShared:
-					// An eviction storm takes the session's grant (or greedy
-					// claim) and the decode state built on it; under ArbShared
-					// there is no per-session grant to revoke.
-					e.revokes++
-					if e.obs != nil {
-						e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindFault, Session: s.ID, Detail: obs.DetailRevoke})
-					}
-					if qe := e.faultSuspend(s, tick, slot, true); qe != nil {
-						queue = append(queue, qe)
-					} else {
-						e.failed++
-						e.finish(s, tick, OutcomeFailed)
-						e.emitFinish(tick, slot, s)
-						finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
-					}
-				case e.cfg.Faults.StepFault(tick, slot):
-					e.stepFaults++
-					if e.obs != nil {
-						e.obs.Emit(obs.Event{Tick: tick, Slot: slot, Kind: obs.KindFault, Session: s.ID, Detail: obs.DetailStep})
-					}
-					if qe := e.faultSuspend(s, tick, slot, false); qe != nil {
-						queue = append(queue, qe)
-					} else {
-						e.failed++
-						e.finish(s, tick, OutcomeFailed)
-						e.emitFinish(tick, slot, s)
-						finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
-					}
-				default:
-					live = append(live, s)
-				}
-			}
-			active = live
-			// A capacity dip takes the highest-numbered slots offline;
-			// displaced sessions park (stream retained) until capacity
-			// returns or another slot frees.
-			for len(active) > e.cfg.MaxActive-offline {
-				last := len(active) - 1
-				queue = append(queue, e.dipSuspend(active[last], tick, last))
-				active = active[:last]
-			}
+		fin, stepped, err := e.StepTick(tick)
+		if err != nil {
+			return nil, err
 		}
-		for len(active) < e.cfg.MaxActive-offline {
-			best := -1
-			for i := range queue {
-				if queue[i].NotBefore > tick {
-					continue // still backing off after a fault
-				}
-				if best < 0 || e.sched.Less(queue[i], queue[best]) {
-					best = i
-				}
-			}
-			if best < 0 {
-				break
-			}
-			qe := queue[best]
-			queue = append(queue[:best], queue[best+1:]...)
-			sess, err := e.place(qe, &rank, tick, len(active))
-			if err != nil {
-				return nil, err
-			}
-			active = append(active, sess)
-		}
-		// Preemption: with the batch full and entries still queued, let the
-		// preemptor pull rank. Each round suspends the named victim in
-		// place (the slot keeps its position, so shared-cache commit order
-		// stays the slot order) and admits the scheduler-best entry among
-		// those able to preempt; the loop re-scans because a suspended
-		// session re-enters the queue and may itself outrank a third
-		// session. Strict preemptors guarantee termination: every takeover
-		// strictly lowers the displaced slot's pressure rank. Entries still
-		// backing off cannot preempt — their backoff gates placement however
-		// the slot would be obtained.
-		for len(queue) > 0 && len(active) > 0 {
-			slot := e.pre.Victim(active)
-			if slot < 0 {
-				break
-			}
-			qi := -1
-			for i, qe := range queue {
-				if qe.NotBefore > tick {
-					continue
-				}
-				if e.pre.Outranks(qe, active[slot]) && (qi < 0 || e.sched.Less(queue[i], queue[qi])) {
-					qi = i
-				}
-			}
-			if qi < 0 {
-				break
-			}
-			qe := queue[qi]
-			queue = append(queue[:qi], queue[qi+1:]...)
-			queue = append(queue, e.suspend(active[slot], tick, slot))
-			sess, err := e.place(qe, &rank, tick, slot)
-			if err != nil {
-				return nil, err
-			}
-			active[slot] = sess
-		}
-		if len(active) == 0 {
+		finished = append(finished, fin...)
+		if !stepped {
 			// Nothing to decode: an arrival gap, a closed-loop think pause,
 			// every queued session backing off after a fault, or a full
 			// capacity dip. Fast-forward the simulated clock to the earliest
@@ -222,19 +58,8 @@ func (e *Engine) Run() (*Report, error) {
 			if ok && next <= tick {
 				ok = false // scheduled in the past yet not yielded: no help
 			}
-			for _, qe := range queue {
-				switch {
-				case qe.NotBefore > tick:
-					if !ok || qe.NotBefore < next {
-						next, ok = qe.NotBefore, true
-					}
-				default:
-					// Eligible but unplaced: only a dip can cause that; step
-					// one tick and re-check capacity.
-					if !ok || tick+1 < next {
-						next, ok = tick+1, true
-					}
-				}
+			if nt, nok := e.NextEvent(tick); nok && (!ok || nt < next) {
+				next, ok = nt, true
 			}
 			if len(finished) > 0 && (!ok || tick+1 < next) {
 				// Terminations (cancel, retry exhaustion, shedding) this tick
@@ -243,7 +68,7 @@ func (e *Engine) Run() (*Report, error) {
 				next, ok = tick+1, true
 			}
 			if !ok {
-				if e.w.Done() && len(queue) == 0 {
+				if e.w.Done() && len(e.queue) == 0 {
 					break // faults drained the last sessions this tick
 				}
 				return nil, fmt.Errorf("serving: workload %q stalled at tick %d: not done, nothing active, next arrival %d (ok=%v)",
@@ -252,37 +77,23 @@ func (e *Engine) Run() (*Report, error) {
 			tick = next
 			continue
 		}
-		// Telemetry brackets the decode switch from the serial loop: the
-		// parallel tick paths themselves never touch the recorder, so the
-		// event stream and tracker feed are identical for any worker count
-		// and either decode path.
-		tokPre, hitPre, missPre := e.obsTickStart(tick, active, len(queue))
-		switch {
-		case !e.cfg.NoFuse:
-			e.tickFused(active)
-		case e.cfg.Arb == ArbShared:
-			e.tickShared(active)
-		default:
-			e.tickPartitioned(active)
-		}
-		e.obsTickEnd(tick, active, tokPre, hitPre, missPre)
 		tick++
-		live := active[:0]
-		for slot, s := range active {
-			if s.stream.Done() {
-				e.retire(s, tick)
-				if e.obs != nil {
-					e.emitFinish(tick, slot, s)
-					e.obs.ObserveGood(tick, s.stream.Pos())
-				}
-				finished = append(finished, Finished{Index: s.Index, ID: s.ID, Tick: tick})
-			} else {
-				live = append(live, s)
-			}
-		}
-		active = live
 	}
 	return e.report(tick, time.Since(e.wallStart)), nil
+}
+
+// shuffleArrivals applies the seeded same-tick arrival shuffle that makes
+// ties deterministic without privileging workload emission order.
+func (e *Engine) shuffleArrivals(arrivals []int) []int {
+	if len(arrivals) <= 1 {
+		return arrivals
+	}
+	perm := e.rng.Perm(len(arrivals))
+	e.shuffle = e.shuffle[:0]
+	for _, j := range perm {
+		e.shuffle = append(e.shuffle, arrivals[j])
+	}
+	return e.shuffle
 }
 
 // emitFinish records a session's terminal event (no-op with tracing off).

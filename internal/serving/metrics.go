@@ -108,7 +108,11 @@ type Report struct {
 	// serialize.
 	SimTokS float64
 	// HitRate is the unit-weighted cache hit rate across sessions.
-	HitRate float64
+	// CacheHits/CacheMisses are the raw totals behind it, kept so
+	// multi-node rollups (internal/cluster) can recompute an exact
+	// cluster-wide rate instead of averaging ratios.
+	HitRate                float64
+	CacheHits, CacheMisses int64
 	// SimLatencyP50/P90/P99 are percentiles, across sessions, of the mean
 	// simulated seconds per token.
 	SimLatencyP50, SimLatencyP90, SimLatencyP99 float64
@@ -308,6 +312,7 @@ func (e *Engine) report(ticks int, wall time.Duration) *Report {
 		r.SimTokS = float64(r.TotalTokens) / simSeconds
 		r.Goodput = float64(r.GoodTokens) / simSeconds
 	}
+	r.CacheHits, r.CacheMisses = hits, misses
 	if t := hits + misses; t > 0 {
 		r.HitRate = float64(hits) / float64(t)
 	}

@@ -61,6 +61,28 @@ func TestRegistryNamesRoundTripThroughParsers(t *testing.T) {
 	}
 }
 
+// Keep-in-sync check: the suspend-cause → event-detail mapping must stay
+// injective and disjoint from the cluster's migration detail — the obs
+// reconcilers (single-engine and cluster) classify KindSuspend events by
+// Detail string, so two causes sharing a detail, or a cause colliding with
+// DetailMigrate, would silently double-count one bucket.
+func TestSuspendCauseDetailsAreDistinct(t *testing.T) {
+	seen := map[string]suspendCause{}
+	for _, by := range []suspendCause{byPreempt, byFault, byDip} {
+		d := causeDetail(by)
+		if d == "" {
+			t.Errorf("suspend cause %d maps to an empty event detail", by)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Errorf("suspend causes %d and %d share event detail %q", prev, by, d)
+		}
+		seen[d] = by
+		if d == obs.DetailMigrate {
+			t.Errorf("suspend cause %d collides with the cluster migration detail %q", by, d)
+		}
+	}
+}
+
 // Keep-in-sync check: WorkloadNames must list exactly the Name()s the
 // built-in workload constructors produce — it is the list dipbench
 // validates -workload against, so an orphan on either side is a reachable

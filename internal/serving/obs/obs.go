@@ -49,7 +49,9 @@ const (
 	// KindRelease: a partitioned cache grant or greedy claim was released.
 	KindRelease
 	// KindSuspend: a running session left its slot with its stream retained
-	// (detail: preempt, fault, or dip).
+	// (detail: preempt, fault, dip, or migrate — the latter emitted by the
+	// source node when a cluster moves the session elsewhere; Slot is -1,
+	// the session was already parked in the queue).
 	KindSuspend
 	// KindFault: an injected fault landed on a running session (detail:
 	// step, revoke, or cancel).
@@ -98,6 +100,7 @@ const (
 	DetailPreempt   = "preempt"
 	DetailFault     = "fault"
 	DetailDip       = "dip"
+	DetailMigrate   = "migrate"
 	DetailStep      = "step"
 	DetailRevoke    = "revoke"
 	DetailCancel    = "cancel"
@@ -113,6 +116,10 @@ type Event struct {
 	// (finish events); 0 means tick granularity.
 	Tick    int `json:"tick"`
 	SubStep int `json:"substep,omitempty"`
+	// Node identifies the engine that emitted the event in a multi-node
+	// merge (see MergeEvents). Single-engine logs leave it 0, and the
+	// omitempty keeps their serialized form unchanged.
+	Node int `json:"node,omitempty"`
 	// Slot is the batch slot the event concerns at the time of the event
 	// (slots compact as sessions retire), or -1 for engine-level events
 	// (arrivals, shedding, batch steps, commits).
@@ -140,6 +147,7 @@ type Counts struct {
 	Preemptions   int `json:"preemptions"`
 	FaultSuspends int `json:"fault_suspends"`
 	DipParks      int `json:"dip_parks"`
+	Migrations    int `json:"migrations"`
 	StepFaults    int `json:"step_faults"`
 	Revocations   int `json:"revocations"`
 	Cancellations int `json:"cancellations"`
@@ -149,6 +157,31 @@ type Counts struct {
 	FinishedOK    int `json:"finished_ok"`
 	Failed        int `json:"failed"`
 	Cancelled     int `json:"cancelled"`
+}
+
+// Add accumulates another recorder's counts — the cluster rollup merging
+// per-node tallies into one cluster-wide Counts.
+func (c *Counts) Add(o Counts) {
+	c.Arrivals += o.Arrivals
+	c.ShedArrivals += o.ShedArrivals
+	c.Degraded += o.Degraded
+	c.Admits += o.Admits
+	c.Resumes += o.Resumes
+	c.Grants += o.Grants
+	c.Releases += o.Releases
+	c.Preemptions += o.Preemptions
+	c.FaultSuspends += o.FaultSuspends
+	c.DipParks += o.DipParks
+	c.Migrations += o.Migrations
+	c.StepFaults += o.StepFaults
+	c.Revocations += o.Revocations
+	c.Cancellations += o.Cancellations
+	c.Retries += o.Retries
+	c.StepTicks += o.StepTicks
+	c.Commits += o.Commits
+	c.FinishedOK += o.FinishedOK
+	c.Failed += o.Failed
+	c.Cancelled += o.Cancelled
 }
 
 // ClassSlack is one SLO class's observed deadline slack over the window.
@@ -295,6 +328,8 @@ func (r *Recorder) Emit(ev Event) {
 			r.counts.FaultSuspends++
 		case DetailDip:
 			r.counts.DipParks++
+		case DetailMigrate:
+			r.counts.Migrations++
 		}
 	case KindFault:
 		switch ev.Detail {
@@ -392,4 +427,38 @@ func (r *Recorder) Snapshot(tick int) Snapshot {
 		})
 	}
 	return s
+}
+
+// MergeEvents interleaves per-node event logs into one cluster-wide log:
+// each event is stamped with its log's index as Node, and the logs are
+// k-way merged by (Tick, node index) with intra-node order preserved.
+// Engine logs are non-decreasing in Tick, so the merge is a total,
+// deterministic order — the cluster's analogue of one engine's log, safe
+// to byte-compare across worker counts.
+func MergeEvents(logs ...[]Event) []Event {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Event, 0, total)
+	pos := make([]int, len(logs))
+	for len(out) < total {
+		best := -1
+		for n, l := range logs {
+			if pos[n] >= len(l) {
+				continue
+			}
+			if best < 0 || l[pos[n]].Tick < logs[best][pos[best]].Tick {
+				best = n
+			}
+		}
+		ev := logs[best][pos[best]]
+		ev.Node = best
+		out = append(out, ev)
+		pos[best]++
+	}
+	return out
 }

@@ -45,6 +45,7 @@ import (
 	"repro/internal/serving/faults"
 	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
+	"repro/internal/tensor"
 )
 
 // SLO is a request's service-level objective class.
@@ -220,6 +221,19 @@ type Engine struct {
 	preempts  int               // aggregate preemption count
 	ran       bool
 	wallStart time.Time
+
+	// Tick-loop run state, owned by Begin and shared by Run and the
+	// stepped API (Inject/StepTick) so a cluster can drive many engines on
+	// one clock: the seeded arrival-shuffle RNG, the admission queue, the
+	// active batch, the admission-rank counter, the engine-owned arrival
+	// order counter (Run's; a cluster passes its own global order), and
+	// the per-tick Finished scratch returned by StepTick.
+	rng    *tensor.RNG
+	queue  []*QueueEntry
+	active []*Session
+	rank   int
+	order  int
+	fin    []Finished
 
 	// Robustness state: the resolved retry policy, aggregate fault/recovery
 	// counters, shed requests by submission index (arrival and shed tick,
