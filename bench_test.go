@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serving"
+	"repro/internal/serving/faults"
 	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
@@ -250,6 +251,75 @@ func BenchmarkClusterRouted(b *testing.B) {
 		rep, err := c.Run()
 		if err != nil {
 			b.Fatal(err)
+		}
+		total += rep.TotalTokens
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+}
+
+// BenchmarkClusterChaos is BenchmarkClusterRouted under unscripted node
+// chaos with the heartbeat failure detector on: seeded per-tick crash
+// draws take nodes down mid-decode, the detector confirms them after its
+// miss budget, live streams fail over to survivors, and crashed nodes
+// restart through rejoin probation. Reported tok/s prices the whole
+// detect/evacuate/re-prefill/rejoin machinery against the chaos-free
+// routed run above. The draws are deterministic, so every iteration
+// replays the identical crash schedule; the guard asserts the schedule
+// actually exercises a crash and a rejoin.
+func BenchmarkClusterChaos(b *testing.B) {
+	m := serveBenchModel()
+	const nodes = 3
+	const perNode = 8
+	const win = 32
+	rng := tensor.NewRNG(9)
+	toks := make([]int, 8192)
+	for i := range toks {
+		toks[i] = int(rng.Uint64() % uint64(m.Cfg.Vocab))
+	}
+	sys := eval.SystemConfig{Device: hwsim.A18Like(), Policy: cache.PolicyLFU, Win: win}
+	scheme := sparsity.NewDIPCA(0.5, 0.2)
+	makeReqs := func() []serving.Request {
+		reqs := make([]serving.Request, nodes*perNode)
+		for i := range reqs {
+			n := 2*win + (i%2)*win
+			tenant := fmt.Sprintf("t%d", i)
+			if i%4 != 3 {
+				tenant = "hot"
+			}
+			reqs[i] = serving.Request{
+				ID:     fmt.Sprintf("%s/s%d", tenant, i),
+				Scheme: scheme,
+				Tokens: toks[i*128 : i*128+n],
+			}
+		}
+		return reqs
+	}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodeCfgs := make([]serving.Config, nodes)
+		for n := range nodeCfgs {
+			nodeCfgs[n] = serving.Config{
+				System: sys, Arb: serving.ArbShared, MaxActive: perNode,
+				Quantum: 8, Seed: 1,
+			}
+		}
+		c, err := cluster.New(m, cluster.Config{
+			Nodes: nodeCfgs, Router: cluster.LeastLoaded(), Seed: 1,
+			Chaos:  faults.NodeChaos{Seed: 13, CrashRate: 0.02, RecoverTicks: 12},
+			Detect: cluster.Detect{Mode: "heartbeat"},
+		}, serving.FixedBatch(makeReqs()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failures == 0 || rep.Rejoins == 0 {
+			b.Fatalf("chaos schedule did not exercise crash+rejoin (failures=%d rejoins=%d)",
+				rep.Failures, rep.Rejoins)
 		}
 		total += rep.TotalTokens
 	}

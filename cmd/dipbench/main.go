@@ -23,16 +23,23 @@
 //	dipbench -serve -nodes 3                  # sim-cluster: 3 replica engines behind a router
 //	dipbench -serve -small -nodes 3 -router least-loaded -seed 7
 //	dipbench -serve -small -nodes 3 -drain-tick 40   # drain the last node at tick 40
+//	dipbench -serve -small -nodes 3 -node-chaos 0.02  # unscripted crash+recover chaos
+//	dipbench -serve -small -nodes 3 -node-chaos 0.02 -detect-miss 4 -recover-ticks 30
 //
 // The serving-only flags (-small, -seed, -workload, -rate, -slo, -trace,
 // -sched, -preempt, -arb, -fuse, -faults, -retry, -shed, -events,
-// -events-format, -obs-window, -nodes, -router, -drain-tick) are rejected
-// without -serve (or -exp serve / -exp chaos / -exp all), -small conflicts
-// with an explicit -scale paper, and -slo/-rate are rejected where they
-// would be ignored (trace files carry their own deadlines; only poisson has
-// a rate) — all hard errors, not silent overrides. -nodes routes -serve to
-// the cluster scenario (router × arbitration over N replica engines with
-// drain and failover replays); -router and -drain-tick shape it.
+// -events-format, -obs-window, -nodes, -router, -drain-tick, -node-chaos,
+// -detect-miss, -recover-ticks) are rejected without -serve (or -exp serve
+// / -exp chaos / -exp all), -small conflicts with an explicit -scale paper,
+// and -slo/-rate are rejected where they would be ignored (trace files
+// carry their own deadlines; only poisson has a rate) — all hard errors,
+// not silent overrides. -nodes routes -serve to the cluster scenario
+// (router × arbitration over N replica engines with drain and failover
+// replays); -router and -drain-tick shape it, and -node-chaos adds a
+// chaos replay per multi-node cell (seeded unscripted node crashes with
+// timed restarts) run through the heartbeat failure detector, the zero-lag
+// oracle, and with detection off — -detect-miss and -recover-ticks tune
+// the detector threshold and outage length.
 //
 // Every run also emits a machine-readable BENCH_results.json (per
 // experiment: wall time in ns and the headline row of each table) into -out
@@ -118,6 +125,9 @@ func run() int {
 		nodes      = flag.Int("nodes", 0, "with -serve: replica node count for the sim-cluster grid (setting it routes -serve to the cluster scenario; 0 = the single-engine serve grid)")
 		router     = flag.String("router", "", "with -serve -nodes N: restrict the cluster grid to one session router (hash|least-loaded|slo)")
 		drainTick  = flag.Int("drain-tick", 0, "with -serve -nodes N: tick at which the cluster drain scenario drains its last node (0 = one service time into the run)")
+		nodeChaos  = flag.Float64("node-chaos", 0, "with -serve -nodes N: unscripted node-chaos crash rate per node per tick, in (0, 1] (adds a chaos replay per multi-node cell: heartbeat detector vs zero-lag oracle vs detection off)")
+		detectMiss = flag.Int("detect-miss", 0, "with -serve -nodes N: consecutive heartbeat misses before the failure detector confirms a node down (0 = cluster default 4)")
+		recoverT   = flag.Int("recover-ticks", 0, "with -serve -nodes N: ticks a chaos-crashed node stays down before restarting (0 = half a service time)")
 		events     = flag.String("events", "", "with -serve or -exp chaos: enable event tracing and write one event log per grid cell to <PREFIX>-<cell>.<ext>")
 		eventsFmt  = flag.String("events-format", "", "with -serve or -exp chaos: event-log format (jsonl|chrome; default jsonl; needs -events)")
 		obsWindow  = flag.Int("obs-window", 0, "with -serve or -exp chaos: moving-window width in simulated ticks for windowed telemetry (0 = serving default; enables tracing)")
@@ -152,7 +162,7 @@ func run() int {
 	// shaping flags pass through; -small stays serve-only because it forces
 	// the scale, which would rescale every other experiment too.
 	servesToo := *exp == "serve" || *exp == "chaos" || *exp == "cluster" || *exp == "all"
-	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed", "events", "events-format", "obs-window", "nodes", "router", "drain-tick"} {
+	for _, f := range []string{"seed", "workload", "rate", "slo", "trace", "sched", "preempt", "arb", "fuse", "faults", "retry", "shed", "events", "events-format", "obs-window", "nodes", "router", "drain-tick", "node-chaos", "detect-miss", "recover-ticks"} {
 		if set[f] && !servesToo {
 			fmt.Fprintf(os.Stderr, "dipbench: -%s only applies to the serving scenarios; add -serve (or -exp serve / -exp chaos / -exp all)\n", f)
 			return 2
@@ -237,7 +247,7 @@ func run() int {
 		// The chaos grid pins its workload (poisson) and scheduler (EDF) so
 		// the recovery comparison is apples to apples; flags that would be
 		// silently ignored are hard errors, as everywhere else.
-		for _, f := range []string{"workload", "trace", "sched", "fuse", "nodes", "router", "drain-tick"} {
+		for _, f := range []string{"workload", "trace", "sched", "fuse", "nodes", "router", "drain-tick", "node-chaos", "detect-miss", "recover-ticks"} {
 			if set[f] {
 				fmt.Fprintf(os.Stderr, "dipbench: -%s does not apply to the chaos scenario (fixed poisson workload, EDF admission, single engine)\n", f)
 				return 2
@@ -260,6 +270,22 @@ func run() int {
 	}
 	if set["drain-tick"] && set["nodes"] && *nodes == 1 {
 		fmt.Fprintln(os.Stderr, "dipbench: -drain-tick needs at least two nodes (a one-node cluster has nowhere to migrate the drained queue)")
+		return 2
+	}
+	if set["node-chaos"] && (math.IsNaN(*nodeChaos) || *nodeChaos <= 0 || *nodeChaos > 1) {
+		fmt.Fprintf(os.Stderr, "dipbench: -node-chaos must be a crash rate in (0, 1], got %v\n", *nodeChaos)
+		return 2
+	}
+	if set["node-chaos"] && set["nodes"] && *nodes == 1 {
+		fmt.Fprintln(os.Stderr, "dipbench: -node-chaos needs at least two nodes (a one-node cluster has nowhere to fail over)")
+		return 2
+	}
+	if set["detect-miss"] && *detectMiss <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -detect-miss must be a positive heartbeat-miss count, got %d\n", *detectMiss)
+		return 2
+	}
+	if set["recover-ticks"] && *recoverT <= 0 {
+		fmt.Fprintf(os.Stderr, "dipbench: -recover-ticks must be a positive outage length in ticks, got %d\n", *recoverT)
 		return 2
 	}
 	if *exp == "cluster" {
@@ -348,6 +374,9 @@ func run() int {
 	lab.ServeNodes = *nodes
 	lab.ServeRouter = *router
 	lab.ServeDrainTick = *drainTick
+	lab.ServeNodeChaos = *nodeChaos
+	lab.ServeDetectMiss = *detectMiss
+	lab.ServeRecoverTicks = *recoverT
 	if *verbose {
 		lab.Log = os.Stderr
 	}

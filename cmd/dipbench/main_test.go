@@ -176,3 +176,25 @@ func TestFlagUsageEnumerationsMatchServingRegistries(t *testing.T) {
 		}
 	}
 }
+
+// Keep-in-sync check: the cluster health-state names double as obs event
+// details (-events logs carry them verbatim on the detector's suspect/
+// confirm/rejoin events), so every health state must be a registered obs
+// detail, and every detector mode the -node-chaos replay sweeps must
+// validate.
+func TestClusterHealthStatesAreRegisteredObsDetails(t *testing.T) {
+	details := map[string]bool{}
+	for _, d := range obs.DetailNames() {
+		details[d] = true
+	}
+	for _, h := range cluster.HealthNames() {
+		if !details[h] {
+			t.Errorf("cluster health state %q is not a registered obs detail", h)
+		}
+	}
+	for _, mode := range cluster.DetectModes() {
+		if err := (cluster.Detect{Mode: mode}).Validate(); err != nil {
+			t.Errorf("detector mode %q does not validate: %v", mode, err)
+		}
+	}
+}

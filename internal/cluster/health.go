@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/serving/faults"
+	"repro/internal/serving/obs"
+)
+
+// This file is the cluster's failure-detection layer: the per-node health
+// state machine, the deterministic heartbeat failure detector, and the
+// bridge from unscripted node chaos (faults.NodePlan) into the same
+// lifecycle machine the scripted Failures feed.
+//
+// Ground truth and the detector's view are deliberately separate. Ground
+// truth — is node n actually down at tick t? — is a pure function of the
+// scripted failure windows and the chaos plan's stateless crash draws. The
+// detector only sees heartbeats: one per node per tick, dropped while the
+// node is dead (or by chaos in flight), delayed by GrayLag while the node
+// is gray. The gap between the two views is the detection lag the reports
+// price: requests routed onto a dead-but-not-yet-confirmed node are
+// stranded, and failover migration happens at the confirmation tick, not
+// the failure tick.
+
+// Health is the detector's view of one node.
+type Health int
+
+const (
+	// Healthy nodes take placements normally.
+	Healthy Health = iota
+	// Suspect nodes missed MissSuspect consecutive heartbeats; the router
+	// avoids them while any healthy candidate remains.
+	Suspect
+	// Down nodes missed MissConfirm heartbeats and were evacuated; they
+	// take no placements until a heartbeat returns.
+	Down
+	// Rejoining nodes came back from Down and are in warm-up probation:
+	// they take placements only while lightly loaded, and return to
+	// Healthy once the probation window passes with live heartbeats.
+	Rejoining
+)
+
+// String names the health state; the names double as obs event details
+// (see obs.DetailNames), which the keep-in-sync tests pin.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return obs.DetailHealthy
+	case Suspect:
+		return obs.DetailSuspect
+	case Down:
+		return obs.DetailDown
+	case Rejoining:
+		return obs.DetailRejoining
+	default:
+		return "invalid"
+	}
+}
+
+// HealthNames lists the health states in declaration order.
+func HealthNames() []string {
+	return []string{obs.DetailHealthy, obs.DetailSuspect, obs.DetailDown, obs.DetailRejoining}
+}
+
+// DetectModes lists the failure-detector modes ParseDetectMode accepts.
+func DetectModes() []string { return []string{"heartbeat", "oracle", "off"} }
+
+// Detect tunes the cluster's failure detector. The zero value is the
+// heartbeat detector at the default thresholds.
+type Detect struct {
+	// Mode selects the detector: "heartbeat" (the default — suspicion
+	// counted from missed heartbeats, failover at confirmation),
+	// "oracle" (zero detection lag: confirmation at the ground-truth
+	// crash tick, the upper bound any real detector is priced against),
+	// or "off" (no detection and no failover — stranded work stays
+	// frozen on the dead node until its restart, the lower bound).
+	Mode string
+	// MissSuspect is how many consecutive missed heartbeats mark a node
+	// Suspect (0 = default 2; clamped to MissConfirm when larger).
+	MissSuspect int
+	// MissConfirm is how many consecutive missed heartbeats confirm a
+	// node Down and trigger failover (0 = default 4).
+	MissConfirm int
+	// ProbationTicks is the warm-up window a rejoining node serves before
+	// it counts as fully Healthy again (0 = default 8).
+	ProbationTicks int
+}
+
+// Validate reports the first invalid Detect field by name.
+func (d Detect) Validate() error {
+	switch d.Mode {
+	case "", "heartbeat", "oracle", "off":
+	default:
+		return fmt.Errorf("cluster: Detect.Mode must be one of heartbeat|oracle|off, got %q", d.Mode)
+	}
+	if d.MissSuspect < 0 {
+		return fmt.Errorf("cluster: Detect.MissSuspect must be non-negative (0 = default 2), got %d", d.MissSuspect)
+	}
+	if d.MissConfirm < 0 {
+		return fmt.Errorf("cluster: Detect.MissConfirm must be non-negative (0 = default 4), got %d", d.MissConfirm)
+	}
+	if d.ProbationTicks < 0 {
+		return fmt.Errorf("cluster: Detect.ProbationTicks must be non-negative (0 = default 8), got %d", d.ProbationTicks)
+	}
+	return nil
+}
+
+// withDefaults resolves zero fields and clamps MissSuspect ≤ MissConfirm.
+func (d Detect) withDefaults() Detect {
+	if d.Mode == "" {
+		d.Mode = "heartbeat"
+	}
+	if d.MissSuspect == 0 {
+		d.MissSuspect = 2
+	}
+	if d.MissConfirm == 0 {
+		d.MissConfirm = 4
+	}
+	if d.MissSuspect > d.MissConfirm {
+		d.MissSuspect = d.MissConfirm
+	}
+	if d.ProbationTicks == 0 {
+		d.ProbationTicks = 8
+	}
+	return d
+}
+
+// grayFaults adapts a node's slot-level fault injector to the cluster's
+// chaos plan: while the node is in a gray window it decodes at dipped
+// capacity (GraySlots offline), on top of whatever the inner plan injects.
+// Pure functions of (tick, node) only, so the wrapper is race-free under
+// the parallel node fan-out.
+type grayFaults struct {
+	inner faults.Injector // may be nil
+	plan  *faults.NodePlan
+	node  int
+}
+
+func (g grayFaults) Name() string {
+	if g.inner != nil {
+		return g.inner.Name() + "+gray"
+	}
+	return "gray"
+}
+
+func (g grayFaults) StepFault(tick, slot int) bool {
+	return g.inner != nil && g.inner.StepFault(tick, slot)
+}
+
+func (g grayFaults) Revoke(tick, slot int) bool {
+	return g.inner != nil && g.inner.Revoke(tick, slot)
+}
+
+func (g grayFaults) Cancel(tick, slot int) bool {
+	return g.inner != nil && g.inner.Cancel(tick, slot)
+}
+
+func (g grayFaults) Offline(tick int) int {
+	off := 0
+	if g.inner != nil {
+		off = g.inner.Offline(tick)
+	}
+	if g.plan.Gray(tick, g.node) && !g.plan.Dead(tick, g.node) {
+		if s := g.plan.Config().GraySlots; s > off {
+			off = s
+		}
+	}
+	return off
+}
+
+// deadAt is ground truth: whether node is actually down at tick, from the
+// scripted failure windows or the chaos plan's stateless crash draws.
+func (c *Cluster) deadAt(tick, node int) bool {
+	for _, f := range c.cfg.Failures {
+		if f.Node == node && tick >= f.Tick && tick < f.Tick+f.Ticks {
+			return true
+		}
+	}
+	return c.plan != nil && c.plan.Dead(tick, node)
+}
+
+// grayAt reports whether the node is in a gray window (dead wins over gray).
+func (c *Cluster) grayAt(tick, node int) bool {
+	return c.plan != nil && c.plan.Gray(tick, node) && !c.deadAt(tick, node)
+}
+
+// emits reports whether the heartbeat the node would send at tick leaves
+// the node at all: dead nodes send nothing, and chaos can drop one in
+// flight.
+func (c *Cluster) emits(tick, node int) bool {
+	if c.deadAt(tick, node) {
+		return false
+	}
+	return c.plan == nil || !c.plan.DropHeartbeat(tick, node)
+}
+
+// heartbeatAt reports whether a heartbeat from node arrives at tick: the
+// beat emitted at e lands at e+lag(e), where lag is 0 for a healthy node
+// and GrayLag for a gray one — so a gray node's beats run late and the
+// detector flaps it into Suspect.
+func (c *Cluster) heartbeatAt(tick, node int) bool {
+	if c.emits(tick, node) && !c.grayAt(tick, node) {
+		return true
+	}
+	if c.plan != nil {
+		e := tick - c.plan.Config().GrayLag
+		if e >= 0 && c.emits(e, node) && c.grayAt(e, node) {
+			return true
+		}
+	}
+	return false
+}
+
+// missesAt counts the consecutive ticks up to and including tick with no
+// heartbeat arrival from node, capped at MissConfirm (past the confirmation
+// threshold the exact count no longer matters). The backward scan keeps the
+// count a pure function of the tick clock, so fast-forwarded idle ticks
+// can never skew the detector.
+func (c *Cluster) missesAt(tick, node int) int {
+	bound := c.detect.MissConfirm
+	for d := 0; d <= bound && d <= tick; d++ {
+		if c.heartbeatAt(tick-d, node) {
+			return d
+		}
+	}
+	if tick < bound {
+		return tick + 1
+	}
+	return bound
+}
+
+// emitHealth emits one detector event on the node's recorder (no-op with
+// tracing off). Detector events carry Slot -1 and the health-state detail.
+func (c *Cluster) emitHealth(tick, node int, kind obs.Kind, detail string) {
+	if c.recs[node] != nil {
+		c.recs[node].Emit(obs.Event{Tick: tick, Slot: -1, Kind: kind, Detail: detail})
+	}
+}
+
+// confirmDown declares the node Down and fails it over: detection lag is
+// measured against the ground-truth crash tick when the node is genuinely
+// dead (a false-positive confirm has no lag to measure), active sessions
+// are evacuated with their live stream and cache state, and every stranded
+// request re-routes with retry backoff.
+func (c *Cluster) confirmDown(tick, node int) error {
+	c.health[node] = Down
+	c.confirms++
+	c.emitHealth(tick, node, obs.KindConfirm, obs.DetailDown)
+	if c.wasDead[node] {
+		c.detectLagN[node] += tick - c.crashTick[node]
+		c.lagMeasured++
+	}
+	migs := c.nodes[node].Evacuate(tick)
+	for _, mig := range migs {
+		if mig.Entry.Sess == nil && c.strandAttempts[mig.Entry.Index] > 0 {
+			// Retry accounting for stranded requests: the re-route backs
+			// off like a faulted session's retry, de-synchronized by the
+			// seeded jitter, so failover does not thundering-herd the
+			// survivors.
+			nb := tick + c.retry.Backoff(c.cfg.Seed, mig.Entry.Index, c.strandAttempts[mig.Entry.Index])
+			if nb > mig.Entry.NotBefore {
+				mig.Entry.NotBefore = nb
+			}
+		}
+	}
+	return c.migrate(migs, tick)
+}
+
+// detectTick runs one serial detector pass over every node, in node order,
+// before the tick's routing: ground-truth crash/restart edges feed the
+// lifecycle tallies, and the configured detector advances each node's
+// health state. With chaos off and every node healthy this is a pure
+// scalar scan — zero allocations per tick (pinned by a test).
+func (c *Cluster) detectTick(tick int) error {
+	for n := range c.nodes {
+		dead := c.deadAt(tick, n)
+		if dead && !c.wasDead[n] {
+			c.crashTick[n] = tick
+			c.crashes[n]++
+			c.failures++
+		}
+		if dead {
+			c.failTicks[n]++
+			c.deadTicks++
+		}
+		c.wasDead[n] = dead
+		switch c.mode {
+		case detOff:
+			continue
+		case detOracle:
+			// The zero-lag oracle: confirmation at the crash tick itself,
+			// rejoin probation identical to the heartbeat detector — the
+			// only difference between the two modes is detection lag.
+			switch {
+			case dead && c.health[n] != Down:
+				if err := c.confirmDown(tick, n); err != nil {
+					return err
+				}
+			case !dead && c.health[n] == Down:
+				c.startRejoin(tick, n)
+			case c.health[n] == Rejoining && tick >= c.probation[n]:
+				c.health[n] = Healthy
+				c.emitHealth(tick, n, obs.KindRejoin, obs.DetailHealthy)
+			}
+			continue
+		}
+		// Heartbeat detector.
+		beat := c.heartbeatAt(tick, n)
+		if !beat && c.health[n] != Down {
+			c.hbMisses++
+			c.emitHealth(tick, n, obs.KindHeartbeatMiss, "")
+		}
+		switch c.health[n] {
+		case Down:
+			if beat {
+				// A heartbeat from a Down node is the rejoin signal —
+				// whether the node really restarted or the confirm was a
+				// false positive, the same probation path re-absorbs it.
+				c.startRejoin(tick, n)
+			}
+		case Rejoining:
+			switch {
+			case c.missesAt(tick, n) >= c.detect.MissConfirm:
+				// Crashed again during probation.
+				if err := c.confirmDown(tick, n); err != nil {
+					return err
+				}
+			case tick >= c.probation[n] && beat:
+				c.health[n] = Healthy
+				c.emitHealth(tick, n, obs.KindRejoin, obs.DetailHealthy)
+			}
+		default: // Healthy or Suspect
+			switch m := c.missesAt(tick, n); {
+			case m >= c.detect.MissConfirm:
+				if err := c.confirmDown(tick, n); err != nil {
+					return err
+				}
+			case m >= c.detect.MissSuspect:
+				if c.health[n] == Healthy {
+					c.health[n] = Suspect
+					c.suspects++
+					c.emitHealth(tick, n, obs.KindSuspect, obs.DetailSuspect)
+				}
+			default:
+				// Heartbeats resumed before confirmation: quietly clear
+				// the suspicion.
+				c.health[n] = Healthy
+			}
+		}
+	}
+	if len(c.parked) > 0 {
+		// A prior failover found no routable node; re-place the parked
+		// migrants now that the detector pass may have readmitted one
+		// (migrate re-parks whatever still has nowhere to go).
+		c.refreshLoads()
+		if len(c.routable(tick)) > 0 {
+			migs := c.parked
+			c.parked = nil
+			if err := c.migrate(migs, tick); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startRejoin moves a Down node into warm-up probation.
+func (c *Cluster) startRejoin(tick, node int) {
+	c.health[node] = Rejoining
+	c.probation[node] = tick + c.detect.ProbationTicks
+	c.rejoinsN[node]++
+	c.emitHealth(tick, node, obs.KindRejoin, obs.DetailRejoining)
+}
+
+// noteStrand records a placement that landed on a ground-truth-dead node:
+// the request sits frozen until the detector confirms the node Down (or,
+// detector off, until the node restarts). Each strand bumps the request's
+// attempt count, which scales its failover backoff.
+func (c *Cluster) noteStrand(node, tick, idx int, id string) {
+	if !c.wasDead[node] {
+		return
+	}
+	c.strandedN[node]++
+	c.strandAttempts[idx]++
+	if c.recs[node] != nil {
+		c.recs[node].Emit(obs.Event{Tick: tick, Slot: -1, Kind: obs.KindStrand, Session: id})
+	}
+}
+
+// armed reports whether the clock must advance tick by tick for the
+// detector: unscripted chaos can draw a crash on any tick, and any node
+// that is dead or not plainly Healthy has pending detector transitions.
+// With chaos off and every node healthy the cluster fast-forwards exactly
+// as before.
+func (c *Cluster) armed() bool {
+	if c.plan != nil || len(c.parked) > 0 || len(c.held) > 0 {
+		return true
+	}
+	for n := range c.nodes {
+		if c.wasDead[n] || c.health[n] != Healthy {
+			return true
+		}
+	}
+	return false
+}

@@ -13,9 +13,20 @@ import (
 type NodeReport struct {
 	Node int
 	// Drained / FailedTicks record the node's lifecycle: whether it was
-	// administratively drained, and how many outage ticks it consumed.
+	// administratively drained, and how many executed ticks it spent
+	// ground-truth dead.
 	Drained     bool
 	FailedTicks int
+	// Crashes counts ground-truth outage onsets (scripted and unscripted);
+	// DetectLagTicks sums, over this node's confirmed real crashes, the
+	// ticks between the crash and the detector's confirmation.
+	Crashes        int
+	DetectLagTicks int
+	// StrandedRequests counts placements the router made onto this node
+	// while it was already dead; Rejoins counts its returns from Down into
+	// warm-up probation.
+	StrandedRequests int
+	Rejoins          int
 	// Placements counts arrivals the router admitted to this node
 	// (migrations excluded — a migrated session keeps its original
 	// placement credit).
@@ -70,8 +81,25 @@ type Report struct {
 	MigratedWaitTicks int
 	MeanMigrantWait   float64
 
-	// Lifecycle tallies: drains performed and failure windows consumed.
+	// Lifecycle tallies: drains performed and ground-truth crash onsets.
 	Drains, Failures int
+
+	// Failure-detector metrics. HeartbeatMisses/Suspects/Confirms/Rejoins
+	// tally the detector's transitions; Stranded counts placements made
+	// onto already-dead nodes (re-routed with backoff at confirmation —
+	// or, detector off, frozen until the node restarts). DetectLagTicks
+	// sums crash→confirmation lag over confirms of genuinely dead nodes
+	// and MeanDetectLag is its per-confirm mean — the measured cost the
+	// zero-lag oracle mode sets to 0. Availability is the fraction of
+	// node-ticks the cluster's nodes were actually up.
+	HeartbeatMisses int
+	Suspects        int
+	Confirms        int
+	Rejoins         int
+	Stranded        int
+	DetectLagTicks  int
+	MeanDetectLag   float64
+	Availability    float64
 
 	// Counts is the merged per-node event tally when Config.Obs was set
 	// (nil otherwise) — the input to ReconcileObs.
@@ -88,6 +116,7 @@ func (c *Cluster) report(ticks int, wall time.Duration) *Report {
 		Placements: append([]int(nil), c.placements...),
 		Migrations: c.migrations, Requeues: c.requeues,
 		Drains: c.drains, Failures: c.failures,
+		HeartbeatMisses: c.hbMisses, Suspects: c.suspects, Confirms: c.confirms,
 		Wall: serving.WallClock{Seconds: wall.Seconds()},
 	}
 	var hits, misses int64
@@ -96,8 +125,13 @@ func (c *Cluster) report(ticks int, wall time.Duration) *Report {
 		nr := e.Finalize(ticks)
 		r.Nodes = append(r.Nodes, NodeReport{
 			Node: n, Drained: c.drained[n], FailedTicks: c.failTicks[n],
+			Crashes: c.crashes[n], DetectLagTicks: c.detectLagN[n],
+			StrandedRequests: c.strandedN[n], Rejoins: c.rejoinsN[n],
 			Placements: c.placements[n], Report: nr,
 		})
+		r.Rejoins += c.rejoinsN[n]
+		r.Stranded += c.strandedN[n]
+		r.DetectLagTicks += c.detectLagN[n]
 		r.TotalTokens += nr.TotalTokens
 		r.GoodTokens += nr.GoodTokens
 		r.SimTokS += nr.SimTokS
@@ -152,6 +186,13 @@ func (c *Cluster) report(ticks int, wall time.Duration) *Report {
 	}
 	if r.Migrations > 0 {
 		r.MeanMigrantWait = float64(r.MigratedWaitTicks) / float64(r.Migrations)
+	}
+	if c.lagMeasured > 0 {
+		r.MeanDetectLag = float64(r.DetectLagTicks) / float64(c.lagMeasured)
+	}
+	r.Availability = 1
+	if ticks > 0 && len(c.nodes) > 0 {
+		r.Availability = 1 - float64(c.deadTicks)/float64(ticks*len(c.nodes))
 	}
 	if total := sum(r.Placements); total > 0 {
 		mean := float64(total) / float64(len(r.Placements))
@@ -266,6 +307,11 @@ func (r *Report) ReconcileObs() error {
 		{"shed+degrade events vs Report.Shed", c.ShedArrivals + c.Degraded, r.Shed},
 		{"shed+degrade events vs shed sessions", c.ShedArrivals + c.Degraded, shedSessions},
 		{"ok finish events vs ok sessions", c.FinishedOK, okFinishes},
+		{"heartbeat-miss events vs Report.HeartbeatMisses", c.HeartbeatMisses, r.HeartbeatMisses},
+		{"suspect events vs Report.Suspects", c.Suspects, r.Suspects},
+		{"confirm events vs Report.Confirms", c.Confirms, r.Confirms},
+		{"rejoin events vs Report.Rejoins", c.Rejoins, r.Rejoins},
+		{"strand events vs Report.Stranded", c.Stranded, r.Stranded},
 	}
 	for _, ck := range checks {
 		if ck.events != ck.counter {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/hwsim"
 	"repro/internal/model"
 	"repro/internal/serving"
+	"repro/internal/serving/faults"
 	"repro/internal/serving/obs"
 	"repro/internal/sparsity"
 )
@@ -159,6 +161,18 @@ func ClusterServe(l *Lab) ([]*Table, error) {
 			cfg.DrainNode = nodes - 1
 		case "fail":
 			cfg.Failures = []cluster.Failure{{Node: failNode, Tick: svcTicks / 2, Ticks: svcTicks}}
+		case "chaos-heartbeat", "chaos-oracle", "chaos-off":
+			rt := l.ServeRecoverTicks
+			if rt <= 0 {
+				rt = svcTicks / 2
+			}
+			cfg.Chaos = faults.NodeChaos{
+				Seed: l.ServeSeed + 2, CrashRate: l.ServeNodeChaos, RecoverTicks: rt,
+			}
+			cfg.Detect = cluster.Detect{
+				Mode:        strings.TrimPrefix(scenario, "chaos-"),
+				MissConfirm: l.ServeDetectMiss,
+			}
 		}
 		w, err := makeWorkload(nodes)
 		if err != nil {
@@ -181,7 +195,10 @@ func ClusterServe(l *Lab) ([]*Table, error) {
 	cols := []string{"nodes", "router", "policy", "sessions", "slots",
 		"sim_tok_s", "goodput", "hit_rate", "slo_attain", "imbalance",
 		"queue_p50_t", "turn_p99_t", "drain_moved", "drain_attain",
-		"fail_migr", "fail_goodput", "fused", "wall_tok_s"}
+		"fail_migr", "fail_goodput",
+		"detect_lag", "rejoins", "stranded",
+		"chaos_attain", "oracle_attain", "off_attain",
+		"fused", "wall_tok_s"}
 	if fuse == "both" {
 		cols = append(cols, "wall_unfused_tok_s")
 	}
@@ -263,10 +280,39 @@ func ClusterServe(l *Lab) ([]*Table, error) {
 					}
 					failMigr, failGoodput = fail.Migrations, fail.Goodput
 				}
+				detectLag, rejoins, stranded := any("-"), any("-"), any("-")
+				chaosAttain, oracleAttain, offAttain := any("-"), any("-"), any("-")
+				if nodes > 1 && l.ServeNodeChaos > 0 {
+					// The chaos replay: the same trace under unscripted
+					// crash+recover chaos, once per detector mode. The
+					// heartbeat run is the measured system, the zero-lag
+					// oracle bounds it from above, and the detector-off run
+					// (stranded work frozen until restart) from below.
+					hb, cevents, err := runScenario(nodes, routerName, arb, fuse == "off", "chaos-heartbeat", 0)
+					if err != nil {
+						return nil, err
+					}
+					if err := l.writeCellEventLog(fmt.Sprintf("n%d-%s-%s-chaos", nodes, routerName, arb), cevents); err != nil {
+						return nil, err
+					}
+					oracle, _, err := runScenario(nodes, routerName, arb, fuse == "off", "chaos-oracle", 0)
+					if err != nil {
+						return nil, err
+					}
+					offRep, _, err := runScenario(nodes, routerName, arb, fuse == "off", "chaos-off", 0)
+					if err != nil {
+						return nil, err
+					}
+					detectLag, rejoins, stranded = hb.MeanDetectLag, hb.Rejoins, hb.Stranded
+					chaosAttain, oracleAttain, offAttain = hb.SLOAttainRate, oracle.SLOAttainRate, offRep.SLOAttainRate
+				}
 				row := []any{nodes, routerName, arb.String(), rep.Sessions, slotsPerNode,
 					rep.SimTokS, rep.Goodput, rep.HitRate, rep.SLOAttainRate, rep.Imbalance,
 					rep.QueueP50, rep.TurnaroundP99, drainMoved, drainAttain,
-					failMigr, failGoodput, fuse, rep.Wall.TokS}
+					failMigr, failGoodput,
+					detectLag, rejoins, stranded,
+					chaosAttain, oracleAttain, offAttain,
+					fuse, rep.Wall.TokS}
 				if fuse == "both" {
 					row = append(row, unfusedWall.TokS)
 				}
@@ -282,6 +328,10 @@ func ClusterServe(l *Lab) ([]*Table, error) {
 		"fail_* replays it with the steady run's most-loaded node failing mid-run: active sessions are evacuated and fail over with their stream and cache state carried to surviving nodes (fail_migr counts live-stream migrations)",
 		"every run's rolled-up report is reconciled against its merged per-node event log (cluster-level: per-node books cannot balance under migration)",
 	)
+	if l.ServeNodeChaos > 0 {
+		out.Notes = append(out.Notes,
+			fmt.Sprintf("chaos_* replays the cell's trace under unscripted node chaos (-node-chaos %g: seeded per-tick crash draws with timed restarts and rejoin probation): detect_lag is the heartbeat detector's mean crash-to-confirmation lag in ticks, stranded counts placements made onto dead-but-unconfirmed nodes, and chaos/oracle/off_attain price that lag — the zero-lag oracle bounds the detector from above, detection-off (work frozen until restart) from below", l.ServeNodeChaos))
+	}
 	if l.ServeEvents != "" {
 		out.Notes = append(out.Notes,
 			"with -events each scenario wrote <prefix>-n<N>-<router>-<arb>-<scenario> merged event logs (node field disambiguates replicas)")

@@ -109,6 +109,19 @@ type Lab struct {
 	// drains its last node (dipbench -drain-tick; 0 = one service time into
 	// the run).
 	ServeDrainTick int
+	// ServeNodeChaos enables unscripted node chaos in the cluster grid
+	// (dipbench -node-chaos): the per-node per-tick crash probability, in
+	// [0, 1]. Positive values add a chaos replay per multi-node cell, run
+	// through the heartbeat detector, the zero-lag oracle, and with
+	// detection off, pricing detection lag in the chaos_* columns.
+	ServeNodeChaos float64
+	// ServeDetectMiss overrides the heartbeat detector's confirmation
+	// threshold in consecutive missed heartbeats (dipbench -detect-miss;
+	// 0 = the cluster default 4).
+	ServeDetectMiss int
+	// ServeRecoverTicks overrides how long a chaos-crashed node stays down
+	// before restarting (dipbench -recover-ticks; 0 = half a service time).
+	ServeRecoverTicks int
 
 	tok    *data.Tokenizer
 	splits data.Splits

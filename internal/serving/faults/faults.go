@@ -36,6 +36,15 @@ const (
 	// Dip takes batch slots offline for a tick window; displaced sessions
 	// are suspended (stream retained) and resume when capacity returns.
 	Dip
+	// Crash is a node-level kind (see NodePlan): the whole node freezes for
+	// a restart window. Slot scripts reject it — it has no slot target.
+	Crash
+	// Gray is a node-level kind: the node answers heartbeats late and
+	// decodes at dipped capacity for a window, without going down.
+	Gray
+	// HeartbeatDrop is a node-level kind: a healthy node's heartbeat is
+	// lost in flight, feeding false-positive pressure into a detector.
+	HeartbeatDrop
 )
 
 // String names the kind.
@@ -49,6 +58,12 @@ func (k Kind) String() string {
 		return "cancel"
 	case Dip:
 		return "dip"
+	case Crash:
+		return "crash"
+	case Gray:
+		return "gray"
+	case HeartbeatDrop:
+		return "hb-drop"
 	default:
 		return "invalid"
 	}
@@ -229,7 +244,9 @@ func Scripted(events ...Event) (*Script, error) {
 			return nil, fmt.Errorf("faults: event %d: negative tick %d", i, e.Tick)
 		}
 		if e.Kind < Step || e.Kind > Dip {
-			return nil, fmt.Errorf("faults: event %d: unknown kind %d", i, e.Kind)
+			// Node-level kinds (Crash, Gray, HeartbeatDrop) have no slot
+			// target; they belong to a cluster NodePlan, not a slot script.
+			return nil, fmt.Errorf("faults: event %d: kind %d is not a slot-level fault", i, e.Kind)
 		}
 		if e.Slot < 0 {
 			return nil, fmt.Errorf("faults: event %d: negative slot %d", i, e.Slot)
@@ -325,6 +342,163 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 		p.BackoffMax = 16
 	}
 	return p
+}
+
+// NodeChaos tunes unscripted node-level chaos for a cluster: whole-node
+// crashes with timed restarts, "gray" degradation windows (late heartbeats
+// plus dipped decode capacity), and in-flight heartbeat drops. Rates are
+// probabilities in [0, 1]; the zero value injects nothing. Like the
+// slot-level Config, every decision is a pure hash of (seed, kind, tick,
+// node), so a chaos schedule is bit-identical across worker counts, decode
+// paths, and REPRO_PROCS.
+type NodeChaos struct {
+	// Seed drives every draw; a fixed seed fixes the whole node schedule.
+	Seed uint64
+	// CrashRate is the per-node-per-tick probability a crash begins.
+	CrashRate float64
+	// RecoverTicks is the restart delay: a crash beginning at tick s keeps
+	// the node down over [s, s+RecoverTicks) (0 = default 24).
+	RecoverTicks int
+	// GrayRate is the per-node-per-tick probability a gray window begins.
+	GrayRate float64
+	// GrayTicks is each gray window's length (0 = default 8).
+	GrayTicks int
+	// GraySlots is how many batch slots a gray node loses (0 = default 1).
+	GraySlots int
+	// GrayLag is how many ticks late a gray node's heartbeats arrive
+	// (0 = default 2).
+	GrayLag int
+	// DropRate is the per-node-per-tick probability a healthy node's
+	// heartbeat is lost in flight — false-positive detector pressure.
+	DropRate float64
+}
+
+// Validate reports the first invalid NodeChaos field by name.
+func (c NodeChaos) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"CrashRate", c.CrashRate}, {"GrayRate", c.GrayRate}, {"DropRate", c.DropRate}} {
+		if r.v < 0 || r.v > 1 || r.v != r.v {
+			return fmt.Errorf("faults: NodeChaos.%s must be a probability in [0, 1], got %v", r.name, r.v)
+		}
+	}
+	if c.RecoverTicks < 0 {
+		return fmt.Errorf("faults: NodeChaos.RecoverTicks must be non-negative (0 = default 24), got %d", c.RecoverTicks)
+	}
+	if c.GrayTicks < 0 {
+		return fmt.Errorf("faults: NodeChaos.GrayTicks must be non-negative (0 = default 8), got %d", c.GrayTicks)
+	}
+	if c.GraySlots < 0 {
+		return fmt.Errorf("faults: NodeChaos.GraySlots must be non-negative (0 = default 1), got %d", c.GraySlots)
+	}
+	if c.GrayLag < 0 {
+		return fmt.Errorf("faults: NodeChaos.GrayLag must be non-negative (0 = default 2), got %d", c.GrayLag)
+	}
+	return nil
+}
+
+// WithDefaults resolves the zero shape fields to the documented defaults.
+func (c NodeChaos) WithDefaults() NodeChaos {
+	if c.RecoverTicks == 0 {
+		c.RecoverTicks = 24
+	}
+	if c.GrayTicks == 0 {
+		c.GrayTicks = 8
+	}
+	if c.GraySlots == 0 {
+		c.GraySlots = 1
+	}
+	if c.GrayLag == 0 {
+		c.GrayLag = 2
+	}
+	return c
+}
+
+// Enabled reports whether the config injects anything at all.
+func (c NodeChaos) Enabled() bool {
+	return c.CrashRate > 0 || c.GrayRate > 0 || c.DropRate > 0
+}
+
+// NodeMix builds the canonical node-chaos mix at one intensity: crashes at
+// rate, gray windows at 2·rate, and heartbeat drops at rate/2, with the
+// default shapes. This is what dipbench -node-chaos uses.
+func NodeMix(rate float64, seed uint64) (NodeChaos, error) {
+	if rate < 0 || rate > 1 || rate != rate {
+		return NodeChaos{}, fmt.Errorf("faults: node mix rate must be a probability in [0, 1], got %v", rate)
+	}
+	gray := 2 * rate
+	if gray > 1 {
+		gray = 1
+	}
+	c := NodeChaos{Seed: seed, CrashRate: rate, GrayRate: gray, DropRate: rate / 2}
+	return c, nil
+}
+
+// NodePlan is a seeded node-lifecycle chaos schedule over the simulated
+// tick clock — the node-level sibling of Plan. Every method is a pure
+// retroactive window scan (the same trick Plan.Offline uses), so the
+// cluster can ask "is node n down at tick t?" from any tick without
+// replaying history and the answer never depends on execution order.
+type NodePlan struct {
+	cfg NodeChaos
+}
+
+// NewNodePlan validates cfg and builds a seeded plan with defaults applied.
+func NewNodePlan(cfg NodeChaos) (*NodePlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &NodePlan{cfg: cfg.WithDefaults()}, nil
+}
+
+// Config returns the plan's (defaulted) configuration.
+func (p *NodePlan) Config() NodeChaos { return p.cfg }
+
+// Dead reports whether a crash window covers (tick, node): a crash drawn at
+// tick s keeps the node down over [s, s+RecoverTicks). Overlapping crashes
+// do not stack — the node is simply down until the last window ends.
+func (p *NodePlan) Dead(tick, node int) bool {
+	if p.cfg.CrashRate == 0 {
+		return false
+	}
+	from := tick - p.cfg.RecoverTicks + 1
+	if from < 0 {
+		from = 0
+	}
+	for s := from; s <= tick; s++ {
+		if draw(p.cfg.Seed, Crash, s, node) < p.cfg.CrashRate {
+			return true
+		}
+	}
+	return false
+}
+
+// Gray reports whether a gray window covers (tick, node). A dead node is
+// not gray — callers check Dead first.
+func (p *NodePlan) Gray(tick, node int) bool {
+	if p.cfg.GrayRate == 0 {
+		return false
+	}
+	from := tick - p.cfg.GrayTicks + 1
+	if from < 0 {
+		from = 0
+	}
+	for s := from; s <= tick; s++ {
+		if draw(p.cfg.Seed, Gray, s, node) < p.cfg.GrayRate {
+			return true
+		}
+	}
+	return false
+}
+
+// DropHeartbeat reports whether the heartbeat the node emits at tick is
+// lost in flight.
+func (p *NodePlan) DropHeartbeat(tick, node int) bool {
+	if p.cfg.DropRate == 0 {
+		return false
+	}
+	return draw(p.cfg.Seed, HeartbeatDrop, tick, node) < p.cfg.DropRate
 }
 
 // Backoff returns the simulated-tick delay before retry number attempt

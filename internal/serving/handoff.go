@@ -329,6 +329,11 @@ func (e *Engine) extract(qe *QueueEntry, tick int) *Migrant {
 		}
 		e.sessions[sess.Index] = nil
 	}
+	// The request no longer lives on this engine: clear the duplicate-
+	// arrival guard so a later failover can migrate it back (a node that
+	// crashed, recovered, and rejoined may legitimately re-host a request
+	// it held before the crash).
+	e.arrived[qe.Index] = false
 	return mig
 }
 

@@ -69,6 +69,26 @@ const (
 	// Outcome — ok, failed, or cancelled; SubStep carries the 1-based
 	// sub-quantum drain step for ok finishes).
 	KindFinish
+	// KindHeartbeatMiss: the cluster's failure detector saw no heartbeat
+	// from this node at an executed tick (Slot is -1 — a node-level event,
+	// like every detector kind below).
+	KindHeartbeatMiss
+	// KindSuspect: consecutive misses crossed the suspicion threshold; the
+	// router stops preferring the node (detail: DetailSuspect).
+	KindSuspect
+	// KindConfirm: misses crossed the confirmation threshold; the node is
+	// declared down and its work evacuates (detail: DetailDown; Session
+	// carries "lag=N" when the node was genuinely dead — the measured
+	// detection lag in ticks).
+	KindConfirm
+	// KindRejoin: a down node's heartbeat returned (detail:
+	// DetailRejoining — warm-up probation begins) or its probation ended
+	// (detail: DetailHealthy — full candidate again).
+	KindRejoin
+	// KindStrand: the router placed a request on a node that was already
+	// dead but not yet confirmed — the request is stranded until the
+	// detector confirms and re-routes it with backoff.
+	KindStrand
 
 	numKinds
 )
@@ -76,6 +96,7 @@ const (
 var kindNames = [numKinds]string{
 	"arrive", "shed", "degrade", "admit", "resume", "grant", "release",
 	"suspend", "fault", "retry", "step-batch", "commit", "finish",
+	"hb-miss", "suspect", "confirm", "rejoin", "strand",
 }
 
 func (k Kind) String() string {
@@ -107,7 +128,23 @@ const (
 	DetailOK        = "ok"
 	DetailFailed    = "failed"
 	DetailCancelled = "cancelled"
+	DetailHealthy   = "healthy"
+	DetailSuspect   = "suspect"
+	DetailDown      = "down"
+	DetailRejoining = "rejoining"
 )
+
+// DetailNames lists every enumerated Detail value, in declaration order —
+// the registry keep-in-sync tests check emitters (e.g. the cluster's
+// health-state names) against.
+func DetailNames() []string {
+	return []string{
+		DetailPreempt, DetailFault, DetailDip, DetailMigrate,
+		DetailStep, DetailRevoke, DetailCancel,
+		DetailOK, DetailFailed, DetailCancelled,
+		DetailHealthy, DetailSuspect, DetailDown, DetailRejoining,
+	}
+}
 
 // Event is one engine decision on the simulated tick clock.
 type Event struct {
@@ -157,6 +194,13 @@ type Counts struct {
 	FinishedOK    int `json:"finished_ok"`
 	Failed        int `json:"failed"`
 	Cancelled     int `json:"cancelled"`
+	// Failure-detector kinds (cluster runs only; zero for single engines).
+	// Rejoins counts probation starts (DetailRejoining), not probation ends.
+	HeartbeatMisses int `json:"heartbeat_misses,omitempty"`
+	Suspects        int `json:"suspects,omitempty"`
+	Confirms        int `json:"confirms,omitempty"`
+	Rejoins         int `json:"rejoins,omitempty"`
+	Stranded        int `json:"stranded,omitempty"`
 }
 
 // Add accumulates another recorder's counts — the cluster rollup merging
@@ -182,6 +226,11 @@ func (c *Counts) Add(o Counts) {
 	c.FinishedOK += o.FinishedOK
 	c.Failed += o.Failed
 	c.Cancelled += o.Cancelled
+	c.HeartbeatMisses += o.HeartbeatMisses
+	c.Suspects += o.Suspects
+	c.Confirms += o.Confirms
+	c.Rejoins += o.Rejoins
+	c.Stranded += o.Stranded
 }
 
 // ClassSlack is one SLO class's observed deadline slack over the window.
@@ -356,6 +405,18 @@ func (r *Recorder) Emit(ev Event) {
 		case DetailCancelled:
 			r.counts.Cancelled++
 		}
+	case KindHeartbeatMiss:
+		r.counts.HeartbeatMisses++
+	case KindSuspect:
+		r.counts.Suspects++
+	case KindConfirm:
+		r.counts.Confirms++
+	case KindRejoin:
+		if ev.Detail == DetailRejoining {
+			r.counts.Rejoins++
+		}
+	case KindStrand:
+		r.counts.Stranded++
 	}
 }
 
