@@ -386,12 +386,12 @@ func run() int {
 	}
 	report := benchReport{Scale: *scale, Procs: parallel.Procs()}
 	for _, id := range ids {
-		start := time.Now()
+		start := time.Now() //lint:allow wallclock ns/op benchmark annotation; the tables themselves are tick-clocked
 		tables, err := experiments.Run(lab, id)
 		if err != nil {
 			return fail("%s: %v", id, err)
 		}
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:allow wallclock ns/op benchmark annotation; the tables themselves are tick-clocked
 		res := benchResult{ID: id, NS: elapsed.Nanoseconds()}
 		var sink *os.File
 		if *outDir != "" {

@@ -1,50 +1,37 @@
 package main
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/lint"
 	"repro/internal/serving"
 	"repro/internal/serving/obs"
 )
 
-// declaredFlags parses main.go and returns every flag declaration's name →
-// usage string.
-func declaredFlags(t *testing.T) map[string]string {
+// srcPkg parses this package's source exactly once, through the shared
+// lint loader — the same parse code path the repolint analyzers use, so
+// the keep-in-sync checks and the static-analysis suite cannot drift onto
+// different views of the tree.
+var srcPkg = sync.OnceValues(func() (*lint.Package, error) { return lint.ParseDir(".") })
+
+func sourcePkg(t *testing.T) *lint.Package {
 	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "main.go", nil, 0)
+	pkg, err := srcPkg()
 	if err != nil {
 		t.Fatal(err)
 	}
-	flags := make(map[string]string)
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) < 2 {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Name != "flag" {
-			return true
-		}
-		name, ok1 := strLit(call.Args[0])
-		usage, ok2 := strLit(call.Args[len(call.Args)-1])
-		if ok1 && ok2 {
-			flags[name] = usage
-		}
-		return true
-	})
+	return pkg
+}
+
+// declaredFlags returns every flag declaration's name → usage string.
+func declaredFlags(t *testing.T) map[string]string {
+	t.Helper()
+	flags := lint.FlagDecls(sourcePkg(t))
 	if len(flags) == 0 {
-		t.Fatal("found no flag declarations in main.go")
+		t.Fatal("found no flag declarations in the package source")
 	}
 	return flags
 }
@@ -53,52 +40,15 @@ func declaredFlags(t *testing.T) map[string]string {
 // flag guard (the one list that includes "seed").
 func servingGuardList(t *testing.T) []string {
 	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "main.go", nil, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var guard []string
-	ast.Inspect(f, func(n ast.Node) bool {
-		lit, ok := n.(*ast.CompositeLit)
-		if !ok {
-			return true
-		}
-		at, ok := lit.Type.(*ast.ArrayType)
-		if !ok {
-			return true
-		}
-		if id, ok := at.Elt.(*ast.Ident); !ok || id.Name != "string" {
-			return true
-		}
-		var elems []string
-		hasSeed := false
-		for _, e := range lit.Elts {
-			s, ok := strLit(e)
-			if !ok {
-				return true
+	for _, list := range lint.StringLists(sourcePkg(t)) {
+		for _, s := range list {
+			if s == "seed" {
+				return list
 			}
-			elems = append(elems, s)
-			hasSeed = hasSeed || s == "seed"
 		}
-		if hasSeed {
-			guard = elems
-		}
-		return true
-	})
-	if guard == nil {
-		t.Fatal("found no serving-only guard list (the []string containing \"seed\") in main.go")
 	}
-	return guard
-}
-
-func strLit(e ast.Expr) (string, bool) {
-	bl, ok := e.(*ast.BasicLit)
-	if !ok || bl.Kind != token.STRING {
-		return "", false
-	}
-	s, err := strconv.Unquote(bl.Value)
-	return s, err == nil
+	t.Fatal("found no serving-only guard list (the []string containing \"seed\") in the package source")
+	return nil
 }
 
 // Keep-in-sync check: every flag documented as serving-scoped ("with

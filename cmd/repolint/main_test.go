@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var readmeCheckRe = regexp.MustCompile(`^- \*\*([a-z]+)\*\* —`)
+
+// readmeChecks parses the bullet list under README's "## Static analysis"
+// section: every `- **name** — ...` bullet until the next section header.
+func readmeChecks(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	in := false
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "## "):
+			in = line == "## Static analysis"
+		case in:
+			if m := readmeCheckRe.FindStringSubmatch(line); m != nil {
+				names = append(names, m[1])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal(`README has no "## Static analysis" check bullets`)
+	}
+	return names
+}
+
+// Keep-in-sync check: the analyzer registry, the README's documented check
+// list, and `repolint -list` must name the same checks in the same order —
+// adding an analyzer without documenting it (or documenting one that does
+// not run) fails here, not in a reader's mental model.
+func TestRegistryReadmeAndListNameTheSameChecks(t *testing.T) {
+	reg := lint.Names()
+	if len(reg) == 0 {
+		t.Fatal("analyzer registry is empty")
+	}
+
+	readme := readmeChecks(t)
+	if strings.Join(readme, " ") != strings.Join(reg, " ") {
+		t.Errorf("README check list %v != registry %v", readme, reg)
+	}
+
+	var buf bytes.Buffer
+	listChecks(&buf)
+	var listed []string
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		name, doc, ok := strings.Cut(line, ": ")
+		if !ok || doc == "" {
+			t.Errorf("-list line %q is not in name: doc form", line)
+			continue
+		}
+		listed = append(listed, name)
+	}
+	if strings.Join(listed, " ") != strings.Join(reg, " ") {
+		t.Errorf("-list output %v != registry %v", listed, reg)
+	}
+}

@@ -3,42 +3,32 @@ package experiments
 import (
 	"bytes"
 	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/lint"
 )
 
-// driverFuncNames parses the package source and returns every exported
-// top-level function with the Driver signature func(*Lab) ([]*Table, error).
+// srcPkg parses the package source exactly once, through the shared lint
+// loader — the same parse code path the repolint analyzers and dipbench's
+// keep-in-sync tests use.
+var srcPkg = sync.OnceValues(func() (*lint.Package, error) { return lint.ParseDir(".") })
+
+// driverFuncNames returns every exported top-level function with the
+// Driver signature func(*Lab) ([]*Table, error), sorted.
 func driverFuncNames(t *testing.T) []string {
 	t.Helper()
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	pkg, err := srcPkg()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var names []string
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv != nil || !fd.Name.IsExported() {
-					continue
-				}
-				if isDriverSignature(fd.Type) {
-					names = append(names, fd.Name.Name)
-				}
-			}
-		}
-	}
-	sort.Strings(names)
-	return names
+	return lint.ExportedFuncs(pkg, isDriverSignature)
 }
 
 // isDriverSignature matches func(*Lab) ([]*Table, error) structurally.

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//lint:allow <check>[,<check>...] <justification>
+//
+// The directive suppresses matching findings on its own line, or — when the
+// comment stands alone on a line — on the line directly below it. The
+// justification is mandatory: a suppression is a documented exemption, not
+// an off switch. Unknown check names, missing justifications, and
+// directives that suppress nothing are themselves findings.
+const directivePrefix = "//lint:allow"
+
+type directive struct {
+	pos     token.Position
+	checks  []string
+	ownLine bool
+	used    bool
+}
+
+// applyDirectives parses every suppression directive in the package, marks
+// matching diagnostics suppressed in place, and returns the directive
+// errors as additional diagnostics.
+func applyDirectives(pkg *Package, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []*directive
+	var errs []Diagnostic
+	report := func(pos token.Position, msg string) {
+		errs = append(errs, Diagnostic{Check: DirectiveCheck, Pos: pos, Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if rest == "" || rest[0] != ' ' && rest[0] != '\t' {
+					report(pos, "malformed directive: want //lint:allow <check> <justification>")
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "directive names no check: want //lint:allow <check> <justification>")
+					continue
+				}
+				d := &directive{pos: pos, ownLine: ownLine(pkg, pos)}
+				bad := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						report(pos, "directive allows unknown check "+quote(name)+"; registered checks: "+strings.Join(names(analyzers), ", "))
+						bad = true
+						continue
+					}
+					d.checks = append(d.checks, name)
+				}
+				if len(fields) < 2 {
+					report(pos, "directive has no justification: say why the site is exempt")
+					bad = true
+				}
+				if !bad {
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	for i := range diags {
+		for _, d := range dirs {
+			if d.covers(diags[i]) {
+				diags[i].Suppressed = true
+				d.used = true
+				break
+			}
+		}
+	}
+	for _, d := range dirs {
+		if !d.used {
+			report(d.pos, "directive suppresses nothing: remove it or move it onto the finding's line")
+		}
+	}
+	return errs
+}
+
+func (d *directive) covers(diag Diagnostic) bool {
+	if diag.Pos.Filename != d.pos.Filename {
+		return false
+	}
+	if diag.Pos.Line != d.pos.Line && !(d.ownLine && diag.Pos.Line == d.pos.Line+1) {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == diag.Check {
+			return true
+		}
+	}
+	return false
+}
+
+// ownLine reports whether only whitespace precedes the comment on its line
+// — such a directive documents the line below it.
+func ownLine(pkg *Package, pos token.Position) bool {
+	src, ok := pkg.Src[pos.Filename]
+	if !ok || pos.Offset > len(src) {
+		return false
+	}
+	line := src[pos.Offset-(pos.Column-1) : pos.Offset]
+	return len(strings.TrimSpace(string(line))) == 0
+}
+
+func names(analyzers []*Analyzer) []string {
+	out := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// inspectStack walks the file like ast.Inspect but hands the callback the
+// path of enclosing nodes (outermost first, current node excluded). The
+// guard-seeking analyzers use it to find enclosing if statements and
+// preceding early returns.
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// No push: ast.Inspect skips the subtree and its nil pop.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Goroutine keeps internal/parallel the single blessed concurrency layer:
+// its worker pool is what the determinism contract is proven over
+// (index-ordered collection, bit-identical to serial), so a stray go
+// statement or hand-rolled sync.WaitGroup fan-out elsewhere is an
+// unproven parallel path.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "no go statements or raw sync.WaitGroup fan-out outside internal/parallel — the worker pool is the one proven-deterministic concurrency layer",
+	Run: func(p *Pass) {
+		if strings.HasSuffix(strings.TrimSuffix(p.Pkg.Path, "_test"), "internal/parallel") {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					p.Reportf(n.Pos(), "go statement outside internal/parallel: route fan-out through the shared worker pool so the determinism contract covers it")
+				case *ast.SelectorExpr:
+					obj, ok := p.Pkg.Info.Uses[n.Sel].(*types.TypeName)
+					if ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+						p.Reportf(n.Pos(), "sync.WaitGroup outside internal/parallel: hand-rolled fan-out bypasses the worker pool's determinism guarantees")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

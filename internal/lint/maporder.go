@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` over a map whose body does something
+// iteration-order dependent — appends to a slice, emits an event, writes
+// output, or accumulates floats (float addition does not commute bitwise).
+// Map iteration order is randomized per run, so any of these leaks
+// nondeterminism straight into a report, log, or artifact. The sanctioned
+// escape is the collect-keys-then-sort idiom: an append whose target is
+// later passed to a sort/slices call in the same function is exempt, since
+// the order leak dies at the sort.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no order-dependent work (slice appends, event emission, output writes, float accumulation) inside a map range unless the result is sorted",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := p.Pkg.Info.TypeOf(rng.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(p, rng, enclosingFuncBody(stack))
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the innermost function body on the stack — the
+// scope the sorted-afterwards exemption searches.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(p *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rng, fnBody, n)
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if obj := p.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				p.Reportf(n.Pos(), "fmt.%s inside a map range writes output in iteration order: iterate sorted keys instead", name)
+				return true
+			}
+			switch name {
+			case "Emit":
+				p.Reportf(n.Pos(), "emitting events inside a map range makes the log iteration-order dependent: iterate sorted keys instead")
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				p.Reportf(n.Pos(), "%s inside a map range writes output in iteration order: iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return
+		}
+		target := as.Lhs[0]
+		if !declaredBefore(p, target, rng.Pos()) || sortedAfter(p, fnBody, rng, target) {
+			return
+		}
+		p.Reportf(as.Pos(), "appending to %s inside a map range records iteration order: sort the result afterwards or iterate sorted keys", types.ExprString(target))
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		tv := p.Pkg.Info.TypeOf(lhs)
+		if tv == nil {
+			return
+		}
+		basic, ok := tv.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 || !declaredBefore(p, lhs, rng.Pos()) {
+			return
+		}
+		p.Reportf(as.Pos(), "accumulating floats into %s inside a map range is iteration-order dependent (float addition does not commute bitwise): iterate sorted keys", types.ExprString(lhs))
+	}
+}
+
+// declaredBefore reports whether the assignment target outlives the range
+// body — an identifier declared before the range, or any selector/index
+// expression (whose base necessarily does). Targets scoped inside the loop
+// body restart every iteration and carry no order between iterations.
+func declaredBefore(p *Pass, target ast.Expr, rangePos token.Pos) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = p.Pkg.Info.Defs[id]
+	}
+	return obj == nil || obj.Pos() < rangePos
+}
+
+// sortedAfter reports whether the enclosing function sorts the append
+// target after the range ends — the collect-then-sort idiom.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	if fnBody == nil {
+		return false
+	}
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if path := obj.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Obsguard protects the zero-alloc disabled-observer pledge: a nil
+// *obs.Recorder is the tracing-off state, and the engine's tick hot path is
+// alloc-pinned on it. Every call to Emit or an Observe* method must
+// therefore be dominated by a nil guard on the same receiver expression —
+// either wrapped in `if recv != nil { ... }` or preceded by
+// `if recv == nil { return }` in an enclosing block — so detail strings and
+// event structs are never built when tracing is off. The obs package itself
+// (where the methods live) is exempt.
+var Obsguard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "every obs Emit/Observe* call site nil-guards the recorder before building the event, keeping the disabled path zero-alloc",
+	Run:  runObsguard,
+}
+
+func runObsguard(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isRecorderEmission(p, fn) {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if !nilGuarded(call, sel.X, recv, stack) {
+				p.Reportf(call.Pos(), "unguarded %s.%s: nil-check the recorder before building the event (a nil recorder is tracing off, pinned zero-alloc)", recv, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isRecorderEmission matches methods named Emit or Observe* whose receiver
+// is *Recorder from a package named obs — excluding the defining package,
+// whose own methods and tests hold the recorder by value.
+func isRecorderEmission(p *Pass, fn *types.Func) bool {
+	if fn.Name() != "Emit" && !strings.HasPrefix(fn.Name(), "Observe") {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Recorder" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "obs" && pkg != p.Pkg.Types
+}
+
+// nilGuarded reports whether the call is dominated by a nil check on the
+// receiver expression: an enclosing `if recv != nil` whose body holds the
+// call, or an earlier `if recv == nil { return/continue/... }` in an
+// enclosing block. The search stops at the innermost function boundary —
+// a guard outside a closure does not dominate the closure's body.
+func nilGuarded(call *ast.CallExpr, recvExpr ast.Expr, recv string, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if s.Body.Pos() <= call.Pos() && call.End() <= s.Body.End() &&
+				condCompares(s.Cond, recv, token.NEQ, token.LAND) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				if st.End() > call.Pos() {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && condCompares(ifs.Cond, recv, token.EQL, token.LOR) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condCompares reports whether cond contains `recv <op> nil` as a
+// combine-joined conjunct/disjunct (LAND for != guards: every branch into
+// the body passed the check; LOR for == early exits: the nil case always
+// takes the exit).
+func condCompares(cond ast.Expr, recv string, op, combine token.Token) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == combine {
+			return condCompares(c.X, recv, op, combine) || condCompares(c.Y, recv, op, combine)
+		}
+		if c.Op != op {
+			return false
+		}
+		return (isNilIdent(c.X) && types.ExprString(c.Y) == recv) ||
+			(isNilIdent(c.Y) && types.ExprString(c.X) == recv)
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether the block always leaves the enclosing scope:
+// its last statement is a return, branch, or panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package lint
+
+// Analyzers returns the full registered suite in name order — the same
+// list `repolint -list` prints and the README "Static analysis" section
+// documents (a keep-in-sync test holds all three together).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Goroutine,
+		Maporder,
+		Obsguard,
+		Seededrand,
+		Wallclock,
+	}
+}
+
+// Names returns the registered check names in registry order.
+func Names() []string {
+	return names(Analyzers())
+}

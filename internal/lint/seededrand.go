@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededrandCtors are the math/rand entry points that build a generator
+// from a caller-supplied seed — the only sanctioned way to touch the
+// package. Everything else at package level drives the shared global
+// source, whose sequence depends on program-wide call order (and, unseeded,
+// on the runtime), exactly the nondeterminism the stateless-hash discipline
+// in faults/cluster exists to avoid.
+var seededrandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Seededrand bans the global math/rand functions. Randomness must flow from
+// an explicitly seeded generator (tensor.NewRNG, rand.New(rand.NewSource(
+// seed))) or a stateless hash of (seed, coordinates), so every draw is a
+// pure function of configuration.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "no global math/rand functions — randomness comes from explicitly seeded generators or stateless hashes of (seed, coordinates)",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				if path := obj.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				// Methods on an explicitly constructed *rand.Rand are fine;
+				// only package-level functions reach the global source.
+				if obj.Signature().Recv() != nil || seededrandCtors[obj.Name()] {
+					return true
+				}
+				p.Reportf(sel.Pos(), "global math/rand function %s draws from the process-wide source: construct a generator from an explicit seed instead", obj.Name())
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the syntax-only side of the loader: one parse pass over a
+// package directory plus the source-inspection helpers the repo's
+// keep-in-sync tests share (flag-declaration extraction, string-list
+// literals, exported-function scans). Before these existed, dipbench's and
+// the experiment registry's tests each hand-rolled their own ast.Inspect
+// walkers over their own parser calls; now every AST-shaped test and the
+// analyzer suite go through this one code path.
+
+// ParseDir parses every .go file in one directory — test files included,
+// no type-checking — into a single syntax-only Package. Tests use it to
+// introspect their own package's source; Types and Info are nil.
+func ParseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Fset: token.NewFileSet(), Src: make(map[string][]byte)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(pkg.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		pkg.Src[path] = src
+		pkg.Files = append(pkg.Files, f)
+		if pkg.Name == "" && !strings.HasSuffix(f.Name.Name, "_test") {
+			pkg.Name = f.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// FlagDecls returns every `flag.X("name", ..., "usage")` declaration in
+// the package as name → usage. Any flag-package call whose first and last
+// arguments are string literals counts, so Bool/Int/String/Duration and
+// the Var forms are all caught.
+func FlagDecls(pkg *Package) map[string]string {
+	flags := make(map[string]string)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+				return true
+			}
+			name, ok1 := StrLit(call.Args[0])
+			usage, ok2 := StrLit(call.Args[len(call.Args)-1])
+			if ok1 && ok2 {
+				flags[name] = usage
+			}
+			return true
+		})
+	}
+	return flags
+}
+
+// StringLists returns every `[]string{...}` composite literal in the
+// package whose elements are all string literals, in source order.
+func StringLists(pkg *Package) [][]string {
+	var lists [][]string
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			at, ok := lit.Type.(*ast.ArrayType)
+			if !ok {
+				return true
+			}
+			if id, ok := at.Elt.(*ast.Ident); !ok || id.Name != "string" {
+				return true
+			}
+			elems := make([]string, 0, len(lit.Elts))
+			for _, e := range lit.Elts {
+				s, ok := StrLit(e)
+				if !ok {
+					return true
+				}
+				elems = append(elems, s)
+			}
+			lists = append(lists, elems)
+			return true
+		})
+	}
+	return lists
+}
+
+// ExportedFuncs returns the names of every exported top-level function
+// (methods excluded) whose type matches the predicate, sorted.
+func ExportedFuncs(pkg *Package, match func(*ast.FuncType) bool) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if match(fd.Type) {
+				names = append(names, fd.Name.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StrLit unquotes a string-literal expression; ok is false for anything
+// else.
+func StrLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil
+}

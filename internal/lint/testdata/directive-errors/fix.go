@@ -1,0 +1,28 @@
+package fixture
+
+import "time"
+
+// Typo names a check that does not exist: the directive is an error and
+// the finding it meant to suppress survives.
+func Typo() time.Time {
+	return time.Now() //lint:allow warpclock Wall annotation only
+}
+
+// Bare has no justification: a suppression without a reason is an error,
+// and the finding survives.
+func Bare() time.Time {
+	return time.Now() //lint:allow wallclock
+}
+
+// Stale allows a check that never fires here: the unused directive is an
+// error so documented exemptions cannot rot in place.
+func Stale() int {
+	//lint:allow maporder stale exemption kept after a refactor
+	return 1
+}
+
+// Mismatch suppresses nothing because it names the wrong check for the
+// finding on its line: the finding survives and the directive is unused.
+func Mismatch() time.Time {
+	return time.Now() //lint:allow maporder wrong check for a wallclock site
+}

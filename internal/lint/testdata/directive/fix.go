@@ -1,0 +1,26 @@
+package fixture
+
+import "time"
+
+// Inline suppresses on the finding's own line.
+func Inline() time.Time {
+	return time.Now() //lint:allow wallclock Wall annotation only
+}
+
+// Above uses the standalone-comment form: the directive documents the line
+// directly below it.
+func Above() time.Time {
+	//lint:allow wallclock Wall annotation documented above the call
+	return time.Now()
+}
+
+// Multi suppresses per-site across a map range: one wallclock probe and
+// one append consumed as an unordered set, each justified where it fires.
+func Multi(m map[string]time.Time) []time.Time {
+	var out []time.Time
+	for _, t := range m {
+		_ = time.Since(t)    //lint:allow wallclock probe wall time per entry
+		out = append(out, t) //lint:allow maporder,wallclock consumed as an unordered set
+	}
+	return out
+}

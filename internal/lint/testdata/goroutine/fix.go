@@ -1,0 +1,22 @@
+package fixture
+
+import "sync"
+
+// Fan hand-rolls goroutine fan-out — outside the blessed worker pool, so
+// nothing proves its collection order deterministic.
+func Fan(n int) {
+	var wg sync.WaitGroup // want "sync.WaitGroup outside internal/parallel"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "go statement outside internal/parallel"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Mutexes and other sync primitives are not fan-out: no finding.
+func Locked(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}

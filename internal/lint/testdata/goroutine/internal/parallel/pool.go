@@ -1,0 +1,16 @@
+// Package parallel stands in for the repo's one blessed concurrency layer:
+// inside it, go statements and WaitGroups are the implementation, not a
+// violation.
+package parallel
+
+import "sync"
+
+// Fan is the worker pool itself: no findings here.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go wg.Done()
+	}
+	wg.Wait()
+}

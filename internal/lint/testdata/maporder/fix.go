@@ -1,0 +1,114 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys collects then sorts — the sanctioned idiom, no finding: the order
+// leak dies at the sort.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Rows sorts with sort.Slice — also recognized.
+func Rows(m map[string]int) [][2]string {
+	var rows [][2]string
+	for k, v := range m {
+		rows = append(rows, [2]string{k, fmt.Sprint(v)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	return rows
+}
+
+// Leak appends without sorting — iteration order escapes to the caller.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appending to out inside a map range"
+	}
+	return out
+}
+
+// Sum accumulates floats — float addition does not commute bitwise, so the
+// result depends on iteration order.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "accumulating floats into total"
+	}
+	return total
+}
+
+// Count accumulates ints — commutative, no finding.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes a map — order-insensitive, no finding.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Print writes output in iteration order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside a map range"
+	}
+}
+
+// Render streams into a builder in iteration order.
+func Render(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside a map range"
+	}
+	return sb.String()
+}
+
+type bus struct{ events []string }
+
+func (b *bus) Emit(ev string) { b.events = append(b.events, ev) }
+
+// Events emits on a bus in iteration order.
+func Events(b *bus, m map[string]int) {
+	for k := range m {
+		b.Emit(k) // want "emitting events inside a map range"
+	}
+}
+
+// Scratch appends to a loop-local slice — reset every iteration, carries
+// no order between iterations, no finding.
+func Scratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Allowed documents a deliberately order-free probe with a justified
+// suppression.
+func Allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder the caller treats this as an unordered set
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package fixture
+
+import (
+	"fmt"
+
+	"fixture/obs"
+)
+
+type engine struct {
+	obs *obs.Recorder
+}
+
+// Guarded wraps emission in the nil check — the sanctioned pattern.
+func (e *engine) Guarded(tick int) {
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick, Detail: fmt.Sprintf("t=%d", tick)})
+	}
+}
+
+// GuardedConjunct passes when the nil check is one conjunct of the
+// condition — every path into the body crossed it.
+func (e *engine) GuardedConjunct(tick int) {
+	if tick > 0 && e.obs != nil {
+		e.obs.Emit(obs.Event{Tick: tick})
+	}
+}
+
+// EarlyReturn guards with the helper idiom: bail out once, emit freely.
+func (e *engine) EarlyReturn(tick int) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.ObserveQueue(tick)
+	e.obs.Emit(obs.Event{Tick: tick})
+}
+
+// Unguarded builds the event unconditionally — a nil recorder panics, and
+// the disabled path pays the detail formatting.
+func (e *engine) Unguarded(tick int) {
+	e.obs.Emit(obs.Event{Tick: tick, Detail: fmt.Sprintf("t=%d", tick)}) // want "unguarded e.obs.Emit"
+}
+
+// WrongGuard nil-checks a different expression than it emits on.
+func (e *engine) WrongGuard(tick int, other *obs.Recorder) {
+	if other != nil {
+		e.obs.Emit(obs.Event{Tick: tick}) // want "unguarded e.obs.Emit"
+	}
+}
+
+// Closure loses the outer guard at the function boundary — the closure may
+// run long after the guard was checked.
+func (e *engine) Closure(tick int) func() {
+	if e.obs == nil {
+		return func() {}
+	}
+	return func() {
+		e.obs.Emit(obs.Event{Tick: tick}) // want "unguarded e.obs.Emit"
+	}
+}
+
+// Sample shows Observe* methods need the same guard as Emit.
+func (e *engine) Sample(depth int) {
+	e.obs.ObserveQueue(depth) // want "unguarded e.obs.ObserveQueue"
+}
+
+type cluster struct{ recs []*obs.Recorder }
+
+// Indexed guards an indexed receiver with the same expression — the
+// cluster's per-node recorder pattern.
+func (c *cluster) Indexed(node, tick int) {
+	if c.recs[node] != nil {
+		c.recs[node].Emit(obs.Event{Tick: tick})
+	}
+}

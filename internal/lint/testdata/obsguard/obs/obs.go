@@ -1,0 +1,22 @@
+// Package obs is a miniature of the real recorder: a nil *Recorder means
+// tracing is off, and every emission method dereferences the receiver, so
+// call sites must nil-guard.
+package obs
+
+// Event is one record.
+type Event struct {
+	Tick   int
+	Detail string
+}
+
+// Recorder collects events; nil is the disabled observer.
+type Recorder struct {
+	events []Event
+	depths []int
+}
+
+// Emit appends one event.
+func (r *Recorder) Emit(ev Event) { r.events = append(r.events, ev) }
+
+// ObserveQueue records one depth sample.
+func (r *Recorder) ObserveQueue(depth int) { r.depths = append(r.depths, depth) }

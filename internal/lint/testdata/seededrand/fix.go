@@ -1,0 +1,30 @@
+package fixture
+
+import (
+	"math/rand"
+	rv2 "math/rand/v2"
+)
+
+// Draw uses the process-wide source — banned: the sequence depends on
+// program-wide call order, not configuration.
+func Draw() int {
+	x := rand.Intn(10) // want "global math/rand function Intn"
+	_ = rand.Float64() // want "global math/rand function Float64"
+	rand.Shuffle(1, func(i, j int) {}) // want "global math/rand function Shuffle"
+	return x
+}
+
+// DrawV2 reaches the v2 global source the same way.
+func DrawV2() int {
+	return rv2.IntN(3) // want "global math/rand function IntN"
+}
+
+// DrawSeeded builds generators from explicit seeds — the sanctioned path;
+// method calls on the constructed generator are fine.
+func DrawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Float64()
+	r2 := rv2.New(rv2.NewPCG(uint64(seed), 1))
+	_ = r2.IntN(3)
+	return r.Intn(10)
+}

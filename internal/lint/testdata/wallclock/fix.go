@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"time"
+
+	clock "time"
+)
+
+// Elapsed reads the wall clock every way the analyzer bans.
+func Elapsed(start time.Time) time.Duration {
+	now := time.Now()            // want "wall-clock call time.Now"
+	_ = time.Since(start)        // want "wall-clock call time.Since"
+	_ = time.Until(start)        // want "wall-clock call time.Until"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	return now.Sub(start)
+}
+
+// Aliased hides the import behind another name; the check resolves the
+// object, not the identifier.
+func Aliased() time.Time {
+	return clock.Now() // want "wall-clock call time.Now"
+}
+
+// Pure time arithmetic on caller-supplied values is deterministic: no
+// findings below.
+func Pure(a, b time.Time, d time.Duration) time.Duration {
+	return b.Sub(a) + d.Round(time.Millisecond)
+}
+
+// Wall is the sanctioned annotation pattern: a justified suppression.
+func Wall() time.Time {
+	return time.Now() //lint:allow wallclock Wall annotation only; everything below it stays bit-identical
+}

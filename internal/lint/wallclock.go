@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the time-package functions that read or schedule
+// against the wall clock. Everything else in package time (durations,
+// formatting, arithmetic on caller-supplied values) is deterministic.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// Wallclock enforces the repo's time model: the simulated tick clock is the
+// only clock, and every report field below the Wall annotation is
+// bit-identical across runs. A wall-clock read anywhere else silently
+// breaks that contract, so each legitimate Wall-annotation site carries an
+// explicit //lint:allow wallclock directive documenting why it is exempt.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now/Since/Until/Sleep/timers outside Wall-annotated reporting sites — simulated ticks are the only clock",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				if wallclockFuncs[obj.Name()] {
+					p.Reportf(sel.Pos(), "wall-clock call time.%s: the simulated tick clock is the only time source; Wall-annotation sites must justify themselves with //lint:allow wallclock", obj.Name())
+				}
+				return true
+			})
+		}
+	},
+}

@@ -28,7 +28,7 @@ func (e *Engine) Begin() error {
 	e.ran = true
 	e.rng = tensor.NewRNG(e.cfg.Seed)
 	e.active = make([]*Session, 0, e.cfg.MaxActive)
-	e.wallStart = time.Now()
+	e.wallStart = time.Now() //lint:allow wallclock Wall annotation origin; the run itself advances only on simulated ticks
 	return nil
 }
 
@@ -294,7 +294,7 @@ func (e *Engine) Slots() int { return e.cfg.MaxActive }
 // Finalize closes a stepped run at the given tick count and builds the
 // report, exactly as Run does when the workload drains.
 func (e *Engine) Finalize(ticks int) *Report {
-	return e.report(ticks, time.Since(e.wallStart))
+	return e.report(ticks, time.Since(e.wallStart)) //lint:allow wallclock feeds Report.Wall only; every other report field is tick-clocked
 }
 
 // Migrant is a session in flight between engines: the queue entry (fresh,
